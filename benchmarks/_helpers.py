@@ -1,0 +1,39 @@
+"""Shared constants and helpers for the benchmark suite.
+
+Kept outside conftest.py so bench modules can import them directly
+(`from _helpers import ...` — the benchmarks directory is on sys.path
+while pytest collects it).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.config import PipelineConfig
+
+#: Base scale for kernel benchmarks (override with REPRO_BENCH_SCALE).
+#: The paper used 16-22 on a server; 10 keeps the suite laptop-friendly.
+BENCH_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "10"))
+#: Edge factor fixed by the paper.
+EDGE_FACTOR = 16
+#: Backends compared in the figure benchmarks (the paper's "languages").
+FIGURE_BACKENDS = ["python", "numpy", "scipy", "dataframe", "graphblas"]
+
+SEED = 20160523
+
+
+def bench_config(backend: str, **overrides) -> PipelineConfig:
+    """Standard benchmark config for one backend."""
+    params = dict(scale=BENCH_SCALE, edge_factor=EDGE_FACTOR, seed=SEED,
+                  backend=backend)
+    params.update(overrides)
+    return PipelineConfig(**params)
+
+
+def record_throughput(benchmark, edges: int, *, per_iteration: int = 1) -> None:
+    """Attach the paper's edges/second metric to a benchmark result."""
+    seconds = benchmark.stats.stats.mean
+    benchmark.extra_info["edges"] = edges
+    benchmark.extra_info["edges_per_second"] = (
+        per_iteration * edges / seconds if seconds > 0 else float("inf")
+    )

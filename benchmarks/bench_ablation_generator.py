@@ -1,0 +1,34 @@
+"""Ablation — Kernel 0 generator choice.
+
+The paper's "next steps" asks whether "a more deterministic generator
+[should] be used in kernel 0 to facilitate validation".  This bench
+compares the required Graph500 Kronecker against the alternatives the
+paper cites (BTER, PPL) and a uniform baseline, all at the same target
+edge budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import BENCH_SCALE, EDGE_FACTOR, SEED, record_throughput
+
+from repro.generators.registry import get_generator
+
+GENERATORS = ["kronecker", "erdos-renyi", "ppl", "bter"]
+
+
+@pytest.mark.parametrize("generator_name", GENERATORS)
+def test_ablation_generator(benchmark, generator_name):
+    generator = get_generator(generator_name)
+    target_edges = EDGE_FACTOR << BENCH_SCALE
+
+    u, v = benchmark.pedantic(
+        lambda: generator(BENCH_SCALE, EDGE_FACTOR, seed=SEED),
+        rounds=3, iterations=1,
+    )
+    # Kronecker/ER hit M exactly; BTER/PPL approximate the budget.
+    assert 0.25 * target_edges <= len(u) <= 2.0 * target_edges
+    record_throughput(benchmark, len(u))
+    benchmark.extra_info["generator"] = generator_name
+    benchmark.extra_info["realised_edges"] = len(u)

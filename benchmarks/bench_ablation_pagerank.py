@@ -1,0 +1,70 @@
+"""Ablation — PageRank algorithm variants on the Kernel 2 matrix.
+
+The benchmark kernel runs 20 fixed iterations with no dangling-node
+handling; the appendix names the corrected variants.  This bench
+measures what each choice costs:
+
+* fixed 20 iterations (the benchmark kernel);
+* convergence-tested sink PageRank (no correction, run to 1e-8);
+* strongly preferential (dangling correction, run to 1e-8);
+* the paper-body formula variant (documented typo, no /N).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _helpers import BENCH_SCALE, EDGE_FACTOR, record_throughput
+
+from repro.pagerank.benchmark import benchmark_pagerank
+from repro.pagerank.variants import (
+    pagerank_sink,
+    pagerank_strongly_preferential,
+)
+
+
+@pytest.fixture(scope="module")
+def matrix(k2_handles):
+    return k2_handles["scipy"].to_scipy_csr()
+
+
+@pytest.fixture(scope="module")
+def r0(matrix):
+    n = matrix.shape[0]
+    return np.full(n, 1.0 / n)
+
+
+@pytest.mark.parametrize("formula", ["appendix", "paper-body"])
+def test_ablation_fixed_iterations(benchmark, matrix, r0, formula):
+    rank = benchmark(
+        benchmark_pagerank, matrix, r0, iterations=20, formula=formula
+    )
+    assert np.isfinite(rank).all()
+    record_throughput(benchmark, EDGE_FACTOR << BENCH_SCALE,
+                      per_iteration=20)
+    benchmark.extra_info["variant"] = f"fixed-20/{formula}"
+
+
+def test_ablation_sink_converged(benchmark, matrix, r0):
+    result = benchmark(
+        pagerank_sink, matrix, initial_rank=r0, tol=1e-8,
+        max_iterations=500,
+    )
+    assert result.converged
+    record_throughput(benchmark, EDGE_FACTOR << BENCH_SCALE,
+                      per_iteration=result.iterations)
+    benchmark.extra_info["variant"] = "sink-converged"
+    benchmark.extra_info["iterations"] = result.iterations
+
+
+def test_ablation_strongly_preferential_converged(benchmark, matrix, r0):
+    result = benchmark(
+        pagerank_strongly_preferential, matrix, initial_rank=r0, tol=1e-8,
+        max_iterations=500,
+    )
+    assert result.converged
+    record_throughput(benchmark, EDGE_FACTOR << BENCH_SCALE,
+                      per_iteration=result.iterations)
+    benchmark.extra_info["variant"] = "strongly-preferential-converged"
+    benchmark.extra_info["iterations"] = result.iterations

@@ -1,0 +1,64 @@
+"""Ablation — file count and file format.
+
+"The number of files is a free parameter to be set by the implementer
+or the user" (paper Sections IV.A/B); this bench quantifies the cost of
+that freedom, plus the tsv-vs-binary format choice that isolates
+string-formatting cost from raw I/O (the ``npy`` rows remove the text
+codec entirely).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import BENCH_SCALE, record_throughput
+
+from repro.edgeio.dataset import EdgeDataset
+
+
+@pytest.mark.parametrize("num_shards", [1, 4, 16, 64])
+def test_ablation_shard_count_write(benchmark, tmp_path, bench_edges, num_shards):
+    u, v = bench_edges
+    n = 1 << BENCH_SCALE
+    counter = {"i": 0}
+
+    def write():
+        out = tmp_path / f"w{num_shards}-{counter['i']}"
+        counter["i"] += 1
+        return EdgeDataset.write(out, u, v, num_vertices=n,
+                                 num_shards=num_shards)
+
+    dataset = benchmark.pedantic(write, rounds=3, iterations=1)
+    assert dataset.num_shards == num_shards
+    record_throughput(benchmark, len(u))
+    benchmark.extra_info["num_shards"] = num_shards
+
+
+@pytest.mark.parametrize("fmt", ["tsv", "npy", "tsv.gz"])
+def test_ablation_format_write(benchmark, tmp_path, bench_edges, fmt):
+    u, v = bench_edges
+    n = 1 << BENCH_SCALE
+    counter = {"i": 0}
+
+    def write():
+        out = tmp_path / f"f{fmt}-{counter['i']}"
+        counter["i"] += 1
+        return EdgeDataset.write(out, u, v, num_vertices=n, num_shards=4,
+                                 fmt=fmt)
+
+    benchmark.pedantic(write, rounds=3, iterations=1)
+    record_throughput(benchmark, len(u))
+    benchmark.extra_info["fmt"] = fmt
+
+
+@pytest.mark.parametrize("fmt", ["tsv", "npy", "tsv.gz"])
+def test_ablation_format_read(benchmark, tmp_path, bench_edges, fmt):
+    u, v = bench_edges
+    n = 1 << BENCH_SCALE
+    dataset = EdgeDataset.write(tmp_path / f"r-{fmt}", u, v, num_vertices=n,
+                                num_shards=4, fmt=fmt)
+
+    ru, _ = benchmark(dataset.read_all)
+    assert len(ru) == len(u)
+    record_throughput(benchmark, len(u))
+    benchmark.extra_info["fmt"] = fmt

@@ -1,0 +1,53 @@
+"""Ablation — Kernel 1 sorting algorithm choice.
+
+The paper (Section IV.B) leaves the sort algorithm to the implementer
+and notes the in-memory / out-of-core split.  This bench compares the
+three in-memory algorithms and the external sort on identical input:
+
+* ``numpy``    — comparison sort, O(M log M);
+* ``counting`` — O(M + N) distribution sort exploiting the bounded keys;
+* ``radix``    — O(M · digits) LSD distribution sort;
+* ``external`` — run generation + k-way merge with bounded memory.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import BENCH_SCALE, record_throughput
+
+from repro.edgeio.dataset import EdgeDataset
+from repro.sort.external import ExternalSortConfig, external_sort_dataset
+from repro.sort.inmemory import sort_edges
+
+
+@pytest.mark.parametrize("algorithm", ["numpy", "counting", "radix"])
+def test_ablation_inmemory_sort(benchmark, bench_edges, algorithm):
+    u, v = bench_edges
+    n = 1 << BENCH_SCALE
+
+    sorted_u, _ = benchmark(
+        sort_edges, u, v, algorithm=algorithm, num_vertices=n
+    )
+    assert sorted_u[0] <= sorted_u[-1]
+    record_throughput(benchmark, len(u))
+    benchmark.extra_info["algorithm"] = algorithm
+
+
+def test_ablation_external_sort(benchmark, tmp_path, k0_dataset):
+    counter = {"i": 0}
+
+    def run_external():
+        out = tmp_path / f"ext-{counter['i']}"
+        counter["i"] += 1
+        return external_sort_dataset(
+            k0_dataset, out,
+            config=ExternalSortConfig(
+                batch_edges=max(k0_dataset.num_edges // 8, 1024)
+            ),
+        )
+
+    dataset = benchmark.pedantic(run_external, rounds=3, iterations=1)
+    assert dataset.num_edges == k0_dataset.num_edges
+    record_throughput(benchmark, k0_dataset.num_edges)
+    benchmark.extra_info["algorithm"] = "external"

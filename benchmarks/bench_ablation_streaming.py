@@ -1,0 +1,43 @@
+"""Ablation — in-memory vs streaming (out-of-core) Kernel 2.
+
+Quantifies what bounded memory costs: the streaming Kernel 2 makes two
+passes (dedup+spill, filter+assemble) instead of one in-memory pass.
+The paper's scalability story (Section IV.C: Kernel 2 can be "memory
+limited") motivates having this path at all.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import BENCH_SCALE, bench_config, record_throughput
+
+from repro.backends.registry import get_backend
+from repro.core.streaming import streaming_kernel2
+
+
+def test_ablation_k2_in_memory(benchmark, k1_dataset):
+    config = bench_config("scipy")
+    backend = get_backend("scipy")
+
+    handle, _ = benchmark.pedantic(
+        lambda: backend.kernel2(config, k1_dataset), rounds=3, iterations=1
+    )
+    assert handle.pre_filter_entry_total == k1_dataset.num_edges
+    record_throughput(benchmark, k1_dataset.num_edges)
+    benchmark.extra_info["variant"] = "in-memory"
+
+
+@pytest.mark.parametrize("batch_divisor", [4, 16])
+def test_ablation_k2_streaming(benchmark, k1_dataset, batch_divisor):
+    batch_edges = max(k1_dataset.num_edges // batch_divisor, 256)
+
+    result = benchmark.pedantic(
+        lambda: streaming_kernel2(k1_dataset, batch_edges=batch_edges),
+        rounds=3, iterations=1,
+    )
+    assert result.pre_filter_entry_total == k1_dataset.num_edges
+    record_throughput(benchmark, k1_dataset.num_edges)
+    benchmark.extra_info["variant"] = f"streaming/M÷{batch_divisor}"
+    benchmark.extra_info["batches"] = result.batches
+    benchmark.extra_info["scale"] = BENCH_SCALE

@@ -1,0 +1,36 @@
+"""Figure 4 — Kernel 0 (generate + write) edges/second per backend.
+
+The paper measures each language's Kernel 0 at scales 16-22 on a Xeon +
+Lustre testbed; we measure each backend at ``BENCH_SCALE`` on local
+disk.  Absolute numbers differ; the *structure* matches the paper:
+Kernel 0 is I/O-and-formatting bound, so the implementation spread is
+narrower than in the compute-bound kernels, with the interpreted-loop
+implementation at the bottom of the band.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import BENCH_SCALE, FIGURE_BACKENDS, bench_config, record_throughput
+
+from repro.backends.registry import get_backend
+
+
+@pytest.mark.parametrize("backend_name", FIGURE_BACKENDS)
+def test_fig4_kernel0(benchmark, tmp_path, backend_name):
+    config = bench_config(backend_name, num_files=4)
+    backend = get_backend(backend_name)
+    counter = {"i": 0}
+
+    def run_kernel0():
+        out = tmp_path / f"k0-{counter['i']}"
+        counter["i"] += 1
+        dataset, _ = backend.kernel0(config, out)
+        return dataset
+
+    dataset = benchmark.pedantic(run_kernel0, rounds=3, iterations=1)
+    assert dataset.num_edges == config.num_edges
+    record_throughput(benchmark, config.num_edges)
+    benchmark.extra_info["figure"] = "fig4"
+    benchmark.extra_info["scale"] = BENCH_SCALE

@@ -1,0 +1,35 @@
+"""Figure 5 — Kernel 1 (read, sort by start vertex, rewrite) edges/second.
+
+All backends sort the *same* Kernel 0 dataset (session fixture), so the
+comparison isolates each implementation's read/sort/write path exactly
+as the paper's per-language Figure 5 does.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import BENCH_SCALE, FIGURE_BACKENDS, bench_config, record_throughput
+
+from repro.backends.registry import get_backend
+from repro.sort.inmemory import is_sorted_by_start
+
+
+@pytest.mark.parametrize("backend_name", FIGURE_BACKENDS)
+def test_fig5_kernel1(benchmark, tmp_path, k0_dataset, backend_name):
+    config = bench_config(backend_name, num_files=4)
+    backend = get_backend(backend_name)
+    counter = {"i": 0}
+
+    def run_kernel1():
+        out = tmp_path / f"k1-{counter['i']}"
+        counter["i"] += 1
+        dataset, _ = backend.kernel1(config, k0_dataset, out)
+        return dataset
+
+    dataset = benchmark.pedantic(run_kernel1, rounds=3, iterations=1)
+    u, _ = dataset.read_all()
+    assert is_sorted_by_start(u)
+    record_throughput(benchmark, k0_dataset.num_edges)
+    benchmark.extra_info["figure"] = "fig5"
+    benchmark.extra_info["scale"] = BENCH_SCALE

@@ -1,0 +1,30 @@
+"""Figure 6 — Kernel 2 (construct + filter + normalise) edges/second.
+
+Every backend filters the same sorted Kernel 1 dataset.  The paper's
+Figure 6 shows the widest language spread here (sparse construction is
+where array machinery pays off most); the assertion below pins that
+ordering: the interpreted dict-based implementation must be the slowest.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import BENCH_SCALE, FIGURE_BACKENDS, bench_config, record_throughput
+
+from repro.backends.registry import get_backend
+
+
+@pytest.mark.parametrize("backend_name", FIGURE_BACKENDS)
+def test_fig6_kernel2(benchmark, k1_dataset, backend_name):
+    config = bench_config(backend_name)
+    backend = get_backend(backend_name)
+
+    handle, _ = benchmark.pedantic(
+        lambda: backend.kernel2(config, k1_dataset), rounds=3, iterations=1
+    )
+    assert handle.pre_filter_entry_total == k1_dataset.num_edges
+    record_throughput(benchmark, k1_dataset.num_edges)
+    benchmark.extra_info["figure"] = "fig6"
+    benchmark.extra_info["scale"] = BENCH_SCALE
+    benchmark.extra_info["nnz"] = handle.nnz

@@ -1,0 +1,47 @@
+"""Figure 7 — Kernel 3 (20 PageRank iterations) edges/second.
+
+The paper's headline observation for Figure 7: "there is a minimal
+dispersion among the performance measurements in Kernel 3 for each of
+the languages" — all array implementations bottom out in the same SpMV
+memory traffic.  The cross-check below asserts that clustering for the
+array backends while the interpreted backend trails far behind.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import BENCH_SCALE, EDGE_FACTOR, FIGURE_BACKENDS, bench_config, record_throughput
+
+from repro.backends.registry import get_backend
+
+_RESULTS: dict = {}
+
+
+@pytest.mark.parametrize("backend_name", FIGURE_BACKENDS)
+def test_fig7_kernel3(benchmark, k2_handles, backend_name):
+    config = bench_config(backend_name)
+    backend = get_backend(backend_name)
+    handle = k2_handles[backend_name]
+    m = EDGE_FACTOR << BENCH_SCALE
+
+    rank, _ = benchmark.pedantic(
+        lambda: backend.kernel3(config, handle), rounds=3, iterations=1
+    )
+    assert rank.shape == (1 << BENCH_SCALE,)
+    record_throughput(benchmark, m, per_iteration=config.iterations)
+    benchmark.extra_info["figure"] = "fig7"
+    benchmark.extra_info["scale"] = BENCH_SCALE
+    _RESULTS[backend_name] = benchmark.extra_info["edges_per_second"]
+
+
+def test_fig7_dispersion_structure():
+    """Paper: array implementations cluster; interpreted loops trail."""
+    if set(_RESULTS) != set(FIGURE_BACKENDS):
+        pytest.skip("per-backend benchmarks did not all run")
+    python_eps = _RESULTS["python"]
+    array_eps = [_RESULTS[n] for n in ("numpy", "scipy", "graphblas",
+                                       "dataframe")]
+    # Interpreted loops are at least 5x slower than the slowest array
+    # implementation (the paper's figures show 1-2 decades).
+    assert min(array_eps) > 5 * python_eps

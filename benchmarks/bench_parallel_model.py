@@ -1,0 +1,55 @@
+"""Parallel decomposition bench — measured traffic vs the alpha-beta model.
+
+The paper (Sections IV.C/D) analyses the parallel pipeline with simple
+communication models and predicts Kernel 3 becomes network-dominated.
+This bench runs the simulated-rank K2+K3 at several group sizes, checks
+the measured allreduce bytes against the closed form the model assumes,
+and times the simulation itself (which bounds the bookkeeping overhead
+of the substrate).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _helpers import BENCH_SCALE, EDGE_FACTOR, record_throughput
+
+from repro.parallel import run_parallel_pipeline
+from repro.perfmodel import LAPTOP_CLASS, predict_parallel_kernel3
+
+ITERATIONS = 10
+
+
+@pytest.mark.parametrize("ranks", [1, 2, 4])
+def test_parallel_k2_k3(benchmark, bench_edges, ranks):
+    u, v = bench_edges
+    n = 1 << BENCH_SCALE
+
+    result = benchmark.pedantic(
+        lambda: run_parallel_pipeline(
+            u, v, n, num_ranks=ranks, iterations=ITERATIONS,
+            initial_rank=np.full(n, 1.0 / n),
+        ),
+        rounds=3, iterations=1,
+    )
+
+    # Closed-form traffic check (naive allreduce algorithm):
+    # (ITERATIONS K3 + 1 K2) vector allreduces of 8n bytes + 1 scalar.
+    if ranks > 1:
+        expected = 2 * (ranks - 1) * ((ITERATIONS + 1) * 8 * n + 8)
+        assert result.traffic["bytes_by_op"]["allreduce"] == expected
+
+    record_throughput(benchmark, EDGE_FACTOR << BENCH_SCALE,
+                      per_iteration=ITERATIONS)
+    benchmark.extra_info["ranks"] = ranks
+    benchmark.extra_info["traffic_bytes"] = result.traffic.get("total_bytes", 0)
+
+    prediction = predict_parallel_kernel3(
+        LAPTOP_CLASS, EDGE_FACTOR << BENCH_SCALE, n, ranks,
+        iterations=ITERATIONS,
+    )
+    benchmark.extra_info["model_edges_per_second"] = prediction.edges_per_second
+    benchmark.extra_info["model_dominant_term"] = max(
+        prediction.terms, key=prediction.terms.get
+    )

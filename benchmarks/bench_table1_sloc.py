@@ -1,0 +1,37 @@
+"""Table I — source lines of code per backend.
+
+The paper's Table I compares implementation effort across languages.
+This bench regenerates the table for this repository's backends and
+checks the shape properties the paper reports: array-oriented
+implementations are several times terser than the low-level one, and
+the counts sit in the same order of magnitude as the paper's 102-494
+range.  The timed portion (SLOC counting itself) also guards against
+the analyser regressing to something pathologically slow.
+"""
+
+from __future__ import annotations
+
+from repro.harness.sloc import backend_sloc_table
+from repro.harness.tables import PAPER_TABLE1, render_sloc
+
+
+def test_table1_sloc(benchmark):
+    table = benchmark(backend_sloc_table)
+
+    # --- Shape assertions against the paper -------------------------
+    # 1. Same order of magnitude as the paper's per-language counts.
+    for name, sloc in table.items():
+        assert 50 <= sloc <= 600, f"{name}: {sloc} lines out of range"
+    # 2. The lowest-level implementation costs the most lines
+    #    (paper: C++ 494 vs Matlab 102; here: pure python vs the rest).
+    assert table["python"] == max(table.values())
+    # 3. Array backends cluster together (within 2x of each other),
+    #    like the paper's Python/Julia/Matlab cluster.
+    array_counts = [table[n] for n in ("numpy", "scipy", "dataframe",
+                                       "graphblas")]
+    assert max(array_counts) <= 2 * min(array_counts)
+
+    print()
+    print(render_sloc())
+    print(f"paper reference range: {min(PAPER_TABLE1.values())}-"
+          f"{max(PAPER_TABLE1.values())} lines")

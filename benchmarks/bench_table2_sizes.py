@@ -1,0 +1,39 @@
+"""Table II — benchmark run sizes for scales 16-22.
+
+Pure arithmetic (no timing-sensitive content), but kept in the bench
+suite so every paper artifact has exactly one regenerating target.  The
+assertions pin the table to the paper's printed rows.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import run_sizes_table
+from repro.harness.tables import render_run_sizes
+
+
+def test_table2_run_sizes(benchmark):
+    rows = benchmark(run_sizes_table)
+
+    assert [r.scale for r in rows] == list(range(16, 23))
+    by_scale = {r.scale: r for r in rows}
+
+    # Paper Table II, row by row (vertices, edges; memory within 5% of
+    # the printed value — the paper prints 25MB/50MB/100MB/201MB/402MB/
+    # 805MB/1.6GB, which implies ~24 B/edge despite the text's "16").
+    expected = {
+        16: (65536, 1048576, 25e6),
+        17: (131072, 2097152, 50e6),
+        18: (262144, 4194304, 100e6),
+        19: (524288, 8388608, 201e6),
+        20: (1048576, 16777216, 402e6),
+        21: (2097152, 33554432, 805e6),
+        22: (4194304, 67108864, 1.6e9),
+    }
+    for scale, (vertices, edges, memory) in expected.items():
+        row = by_scale[scale]
+        assert row.max_vertices == vertices
+        assert row.max_edges == edges
+        assert abs(row.memory_bytes - memory) / memory < 0.05
+
+    print()
+    print(render_run_sizes())

@@ -1,0 +1,61 @@
+"""Shared fixtures for the benchmark suite.
+
+Scales are deliberately laptop-sized (the paper's server ran 16-22; we
+default to 10 so ``pytest benchmarks/ --benchmark-only`` finishes in
+minutes).  Set ``REPRO_BENCH_SCALE`` to raise the base scale.
+
+Input datasets are built once per session and reused: benchmarks time
+*kernels*, not fixture setup.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _helpers import BENCH_SCALE, EDGE_FACTOR, FIGURE_BACKENDS, SEED, bench_config
+
+from repro.backends.registry import get_backend
+from repro.edgeio.dataset import EdgeDataset
+from repro.generators.kronecker import kronecker_edges
+
+
+@pytest.fixture(scope="session")
+def bench_edges():
+    """The shared Kronecker edge list at the benchmark scale."""
+    return kronecker_edges(BENCH_SCALE, EDGE_FACTOR, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def k0_dataset(tmp_path_factory, bench_edges):
+    """A Kernel 0 output dataset shared by the Kernel 1 benchmarks."""
+    u, v = bench_edges
+    path = tmp_path_factory.mktemp("bench-k0") / "edges"
+    return EdgeDataset.write(
+        path, u, v, num_vertices=1 << BENCH_SCALE, num_shards=4
+    )
+
+
+@pytest.fixture(scope="session")
+def k1_dataset(tmp_path_factory, k0_dataset):
+    """A sorted Kernel 1 output dataset shared by Kernel 2 benchmarks."""
+    config = bench_config("scipy")
+    backend = get_backend("scipy")
+    out_dir = tmp_path_factory.mktemp("bench-k1") / "sorted"
+    dataset, _ = backend.kernel1(config, k0_dataset, out_dir)
+    return dataset
+
+
+@pytest.fixture(scope="session")
+def k2_handles(k1_dataset):
+    """Per-backend Kernel 2 outputs shared by Kernel 3 benchmarks."""
+    handles = {}
+    for name in FIGURE_BACKENDS:
+        config = bench_config(name)
+        backend = get_backend(name)
+        handles[name], _ = backend.kernel2(config, k1_dataset)
+    return handles

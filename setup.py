@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+This environment is offline and has no ``wheel`` package, so PEP 517/660
+builds (which need to produce a wheel) cannot run.  Keeping a setup.py
+and omitting ``[build-system]`` from pyproject.toml lets
+``pip install -e .`` use the legacy ``setup.py develop`` path, which
+works without wheel.  All metadata lives in pyproject.toml ([project]).
+"""
+
+from setuptools import setup
+
+setup()

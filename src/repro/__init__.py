@@ -1,0 +1,51 @@
+"""repro — PageRank Pipeline Benchmark reproduction.
+
+A from-scratch Python implementation of the holistic big-data system
+benchmark proposed in:
+
+    Dreher, Byun, Hill, Gadepally, Kuszmaul, Kepner.
+    "PageRank Pipeline Benchmark: Proposal for a Holistic System Benchmark
+    for Big-Data Platforms." IEEE IPDPS Workshops, 2016.
+
+The benchmark consists of four pipelined kernels over a scale-``S``
+power-law graph (``N = 2**S`` vertices, ``M = 16*N`` edges):
+
+* **Kernel 0 — Generate**: Graph500 Kronecker edges written to TSV files.
+* **Kernel 1 — Sort**: sort the edge files by start vertex, rewrite.
+* **Kernel 2 — Filter**: build the sparse adjacency matrix, drop the
+  super-node and leaf columns, row-normalise by out-degree.
+* **Kernel 3 — PageRank**: 20 fixed iterations of the damped PageRank
+  update ``r <- c*(r@A) + (1-c)*sum(r)/N``.
+
+Quickstart
+----------
+>>> from repro import PipelineConfig, run_pipeline
+>>> result = run_pipeline(PipelineConfig(scale=10, seed=7))   # doctest: +SKIP
+>>> [k.edges_per_second for k in result.kernels]              # doctest: +SKIP
+
+Top-level re-exports cover the most common entry points; the subpackages
+(`repro.generators`, `repro.edgeio`, `repro.sort`, `repro.grb`,
+`repro.frame`, `repro.backends`, `repro.pagerank`, `repro.parallel`,
+`repro.perfmodel`, `repro.harness`) expose the full substrate APIs.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import KernelName, PipelineConfig
+from repro.core.pipeline import Pipeline, run_pipeline
+from repro.core.results import KernelResult, PipelineResult
+from repro.backends.registry import available_backends, get_backend
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "KernelName",
+    "KernelResult",
+    "Pipeline",
+    "PipelineConfig",
+    "PipelineResult",
+    "available_backends",
+    "get_backend",
+    "run_pipeline",
+    "__version__",
+]

@@ -1,0 +1,68 @@
+"""Random-number plumbing.
+
+Every stochastic component in the library takes a ``seed`` argument that
+may be ``None`` (fresh entropy), an ``int``, or an existing
+``numpy.random.Generator``.  ``resolve_rng`` normalises all three to a
+``Generator``; ``derive_seed`` deterministically derives independent child
+seeds (for per-shard / per-rank streams) so parallel generation never
+shares a stream.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def resolve_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` for any accepted seed form.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS entropy, an ``int`` for a reproducible stream, or
+        an existing ``Generator`` which is returned unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, bool) or not isinstance(seed, (int, np.integer)):
+        raise TypeError(
+            f"seed must be None, int, or numpy Generator, got {type(seed).__name__}"
+        )
+    return np.random.default_rng(int(seed))
+
+
+def derive_seed(base_seed: int, *path: int) -> int:
+    """Derive a child seed from ``base_seed`` and an index path.
+
+    Uses numpy's ``SeedSequence`` spawning discipline so that
+    ``derive_seed(s, i)`` and ``derive_seed(s, j)`` yield independent
+    streams for ``i != j``, and nesting (``derive_seed(s, i, j)``) is
+    stable across processes.
+
+    Parameters
+    ----------
+    base_seed:
+        Root seed (non-negative integer).
+    path:
+        One or more non-negative integers identifying the child stream,
+        e.g. ``(shard_index,)`` or ``(rank, round)``.
+
+    Returns
+    -------
+    int
+        A 63-bit seed suitable for ``numpy.random.default_rng``.
+    """
+    if not path:
+        raise ValueError("derive_seed requires at least one path component")
+    for component in path:
+        if component < 0:
+            raise ValueError(f"path components must be >= 0, got {component}")
+    entropy = (int(base_seed),) + tuple(int(p) for p in path)
+    seq = np.random.SeedSequence(entropy)
+    return int(seq.generate_state(1, dtype=np.uint64)[0] >> 1)

@@ -1,0 +1,146 @@
+"""Backend interface: the four kernels as abstract methods.
+
+A backend owns *how* each kernel is computed; the pipeline driver owns
+sequencing, timing, and contract verification.  Backends communicate
+through the filesystem (Kernels 0→1→2, as the benchmark requires) and
+through :class:`AdjacencyHandle` (Kernel 2→3, in memory).
+
+Every kernel method returns ``(output, details)`` where ``details`` is a
+JSON-safe dict of free-form metrics folded into the
+:class:`repro.core.results.KernelResult`.
+"""
+
+from __future__ import annotations
+
+import abc
+from pathlib import Path
+from typing import Dict, Tuple, TypeVar
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.config import PipelineConfig
+from repro.edgeio.dataset import EdgeDataset
+
+#: Free-form kernel metrics.
+Details = Dict[str, object]
+
+T = TypeVar("T")
+KernelOutput = Tuple[T, Details]
+
+
+class AdjacencyHandle(abc.ABC):
+    """Backend-specific wrapper around the Kernel 2 output matrix.
+
+    Exposes the minimal cross-backend surface: size, entry counts used
+    by contract checks, and a conversion to ``scipy.sparse`` for
+    validation and comparison.
+    """
+
+    @property
+    @abc.abstractmethod
+    def num_vertices(self) -> int:
+        """Matrix dimension ``N``."""
+
+    @property
+    @abc.abstractmethod
+    def nnz(self) -> int:
+        """Stored entries after filtering and normalisation."""
+
+    @property
+    @abc.abstractmethod
+    def pre_filter_entry_total(self) -> float:
+        """Sum of all adjacency counts *before* column elimination.
+
+        The benchmark contract requires this to equal ``M`` ("all the
+        entries in A should sum to M", Section IV.C).
+        """
+
+    @abc.abstractmethod
+    def to_scipy_csr(self) -> sp.csr_matrix:
+        """Materialise the normalised matrix as scipy CSR (float64)."""
+
+
+class Backend(abc.ABC):
+    """One complete serial implementation of the four-kernel pipeline."""
+
+    #: Registry name; subclasses must override.
+    name: str = ""
+
+    # ------------------------------------------------------------------
+    # Kernel 0 — Generate
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def kernel0(
+        self, config: PipelineConfig, out_dir: Path
+    ) -> KernelOutput[EdgeDataset]:
+        """Generate the Kronecker (or configured) graph and write edge
+        files to ``out_dir``.
+
+        Returns the written dataset.  Generation and file writing are
+        both inside the measured region (the paper's Figure 4 measures
+        Kernel 0 end-to-end even though it is officially untimed).
+        """
+
+    # ------------------------------------------------------------------
+    # Kernel 1 — Sort
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def kernel1(
+        self, config: PipelineConfig, source: EdgeDataset, out_dir: Path
+    ) -> KernelOutput[EdgeDataset]:
+        """Read ``source`` edge files, sort by start vertex, write the
+        sorted dataset to ``out_dir`` in the same format."""
+
+    # ------------------------------------------------------------------
+    # Kernel 2 — Filter
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def kernel2(
+        self, config: PipelineConfig, source: EdgeDataset
+    ) -> KernelOutput[AdjacencyHandle]:
+        """Read the sorted edge files and produce the filtered,
+        row-normalised adjacency matrix:
+
+        1. ``A = sparse(u, v, 1, N, N)`` (duplicates accumulate);
+        2. ``din = sum(A, 1)``;
+        3. ``A[:, din == max(din)] = 0`` and ``A[:, din == 1] = 0``;
+        4. rows with ``dout > 0`` divided by their ``dout``.
+        """
+
+    # ------------------------------------------------------------------
+    # Kernel 3 — PageRank
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def kernel3(
+        self, config: PipelineConfig, matrix: AdjacencyHandle
+    ) -> KernelOutput[np.ndarray]:
+        """Run ``config.iterations`` fixed PageRank iterations.
+
+        The initial vector is uniform random (seeded from
+        ``config.seed``) normalised to unit 1-norm; each iteration is
+        ``r <- c*(r@A) + (1-c)*sum(r)/N`` (``"appendix"`` formula) or
+        the paper body's no-``/N`` variant when configured.
+
+        Returns the final rank row-vector of length ``N``.
+        """
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def initial_rank(config: PipelineConfig) -> np.ndarray:
+        """The benchmark's initial rank vector.
+
+        Drawn from a child stream of the config seed so Kernel 3's
+        start point is identical across backends, then 1-norm
+        normalised (``r = rand(1, N); r = r ./ norm(r, 1)``).
+        """
+        from repro._util import derive_seed, resolve_rng
+
+        rng = resolve_rng(derive_seed(config.seed, 3))
+        r = rng.random(config.num_vertices)
+        return r / np.abs(r).sum()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<backend {self.name!r}>"

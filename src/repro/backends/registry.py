@@ -1,0 +1,67 @@
+"""Backend registry: name-based lookup and registration.
+
+The built-in backends register at import; downstream users can add their
+own with :func:`register_backend` (e.g. a Dask or Ray implementation)
+and the harness, CLI, and benchmarks pick them up by name.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.backends.base import Backend
+
+
+_REGISTRY: Dict[str, Type[Backend]] = {}
+
+
+def register_backend(cls: Type[Backend], *, replace: bool = False) -> Type[Backend]:
+    """Register a backend class under ``cls.name``.
+
+    Usable as a decorator.  Raises ``ValueError`` on duplicate names
+    unless ``replace`` is set.
+    """
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} must define a non-empty 'name'")
+    if cls.name in _REGISTRY and not replace:
+        raise ValueError(f"backend {cls.name!r} is already registered")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def _ensure_builtins() -> None:
+    """Import built-in backends lazily to avoid import cycles."""
+    if _REGISTRY:
+        return
+    from repro.backends.dataframe_backend import DataframeBackend
+    from repro.backends.graphblas_backend import GraphBlasBackend
+    from repro.backends.numpy_backend import NumpyBackend
+    from repro.backends.python_backend import PythonBackend
+    from repro.backends.scipy_backend import ScipyBackend
+
+    for cls in (PythonBackend, NumpyBackend, ScipyBackend, DataframeBackend,
+                GraphBlasBackend):
+        if cls.name not in _REGISTRY:
+            _REGISTRY[cls.name] = cls
+
+
+def available_backends() -> List[str]:
+    """Sorted list of registered backend names."""
+    _ensure_builtins()
+    return sorted(_REGISTRY)
+
+
+def get_backend(name: str) -> Backend:
+    """Instantiate a backend by name.
+
+    Raises
+    ------
+    KeyError
+        With the list of valid names when ``name`` is unknown.
+    """
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        valid = ", ".join(available_backends())
+        raise KeyError(f"unknown backend {name!r}; available: {valid}") from None

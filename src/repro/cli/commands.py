@@ -1,0 +1,290 @@
+"""CLI subcommand implementations (thin wrappers over the library)."""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+import numpy as np
+
+from repro.backends.registry import available_backends
+from repro.core.config import KernelName, PipelineConfig
+from repro.core.pipeline import run_pipeline
+from repro.generators.registry import available_generators
+from repro.harness.experiments import available_experiments, run_experiment
+from repro.harness.records import save_records
+from repro.harness.sweep import SweepPlan, run_sweep
+from repro.harness.tables import render_table
+
+
+def _print_kernel_report(result) -> None:
+    rows = []
+    for kernel in result.kernels:
+        rows.append(
+            [
+                kernel.kernel.value,
+                f"{kernel.seconds:.4f}",
+                f"{kernel.edges_per_second:,.0f}",
+                "yes" if kernel.officially_timed else "no (fig. 4 only)",
+            ]
+        )
+    print(
+        render_table(
+            ["kernel", "seconds", "edges/s", "officially timed"],
+            rows,
+            title=(
+                f"scale={result.config.scale} backend={result.config.backend} "
+                f"N={result.config.num_vertices:,} M={result.config.num_edges:,}"
+            ),
+        )
+    )
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """One pipeline run."""
+    config = PipelineConfig(
+        scale=args.scale,
+        edge_factor=args.edge_factor,
+        seed=args.seed,
+        num_files=args.num_files,
+        backend=args.backend,
+        generator=args.generator,
+        damping=args.damping,
+        iterations=args.iterations,
+        data_dir=Path(args.data_dir) if args.data_dir else None,
+        file_format=args.file_format,
+        sort_algorithm=args.sort_algorithm,
+        external_sort=args.external_sort,
+        validate=args.validate,
+        keep_files=args.data_dir is not None,
+    )
+    result = run_pipeline(config)
+    if args.json:
+        print(result.to_json())
+        return 0
+    _print_kernel_report(result)
+    if result.validation is not None:
+        status = "PASS" if result.validation["passed"] else "FAIL"
+        print(
+            f"validation: {status} "
+            f"(l1={result.validation['l1_distance']:.4f}, "
+            f"cosine={result.validation['cosine_similarity']:.6f})"
+        )
+        if not result.validation["passed"]:
+            return 1
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Backend x scale sweep with a summary table."""
+    plan = SweepPlan(
+        scales=args.scales,
+        backends=args.backends,
+        seed=args.seed,
+        repeats=args.repeats,
+    )
+
+    def progress(config, repeat):
+        print(f"... backend={config.backend} scale={config.scale} repeat={repeat}")
+
+    records = run_sweep(plan, progress=progress)
+    rows = [
+        [r.backend, r.scale, r.kernel, f"{r.seconds:.4f}", f"{r.edges_per_second:,.0f}"]
+        for r in records
+    ]
+    print(render_table(["backend", "scale", "kernel", "seconds", "edges/s"], rows))
+    if args.output:
+        save_records(records, Path(args.output))
+        print(f"records written to {args.output}")
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    """Regenerate one of the paper's figures."""
+    output = run_experiment(
+        args.experiment_id,
+        scales=args.scales,
+        backends=args.backends,
+        repeats=args.repeats,
+    )
+    print(output.text)
+    if args.output:
+        save_records(output.records, Path(args.output))
+        print(f"records written to {args.output}")
+    return 0
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    """Regenerate one of the paper's tables."""
+    output = run_experiment(args.experiment_id, scales=args.scales)
+    print(output.text)
+    return 0
+
+
+def cmd_parallel(args: argparse.Namespace) -> int:
+    """Distributed K2+K3 with traffic accounting and model comparison."""
+    from repro.generators import kronecker_edges
+    from repro.parallel import run_parallel_pipeline
+    from repro.perfmodel import LAPTOP_CLASS, predict_parallel_kernel3
+
+    num_vertices = 1 << args.scale
+    u, v = kronecker_edges(args.scale, args.edge_factor, seed=args.seed)
+    result = run_parallel_pipeline(
+        u,
+        v,
+        num_vertices,
+        num_ranks=args.ranks,
+        iterations=args.iterations,
+        executor=args.executor,
+    )
+    print(
+        f"parallel K2+K3: scale={args.scale} ranks={args.ranks} "
+        f"executor={args.executor}"
+    )
+    print(f"  rank vector sum: {result.rank_vector.sum():.6f}")
+    print(f"  per-rank nnz (load balance): {result.local_nnz}")
+    if result.traffic:
+        print(f"  traffic: {result.traffic['total_bytes']:,} bytes "
+              f"in {result.traffic['total_messages']:,} messages")
+        for op, nbytes in sorted(result.traffic["bytes_by_op"].items()):
+            print(f"    {op:10s} {nbytes:,} bytes")
+    prediction = predict_parallel_kernel3(
+        LAPTOP_CLASS, len(u), num_vertices, args.ranks,
+        iterations=args.iterations,
+    )
+    print(
+        f"  alpha-beta model (laptop-class): k3 ~{prediction.edges_per_second:,.0f}"
+        f" edges/s; dominant term: "
+        f"{max(prediction.terms, key=prediction.terms.get)}"
+    )
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    """Run the pipeline and the Section IV.D eigenvector check."""
+    config = PipelineConfig(
+        scale=args.scale, seed=args.seed, backend=args.backend, validate=True
+    )
+    result = run_pipeline(config)
+    report = result.validation
+    assert report is not None
+    status = "PASS" if report["passed"] else "FAIL"
+    print(
+        f"{status}: l1={report['l1_distance']:.6f} "
+        f"cosine={report['cosine_similarity']:.8f} "
+        f"eigenvalue={report['eigenvalue']:.6f} "
+        f"tolerance={report['tolerance']}"
+    )
+    return 0 if report["passed"] else 1
+
+
+def cmd_golden(args: argparse.Namespace) -> int:
+    """Produce or verify a golden correctness record."""
+    from repro.harness.goldens import GoldenRecord, golden_for_config
+
+    config = PipelineConfig(scale=args.scale, seed=args.seed,
+                            backend=args.backend)
+    record = golden_for_config(config)
+    if args.save:
+        record.save(Path(args.save))
+        print(f"golden record written to {args.save}")
+    if args.check:
+        reference = GoldenRecord.load(Path(args.check))
+        differences = reference.differences(record)
+        if differences:
+            print("GOLDEN MISMATCH:")
+            for diff in differences:
+                print(f"  {diff}")
+            return 1
+        print("golden record matches")
+        return 0
+    if not args.save:
+        print(record.to_json())
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Run sweeps and emit a paper-vs-measured markdown report."""
+    from repro.harness.report import build_report
+
+    plan = SweepPlan(scales=args.scales, backends=args.backends,
+                     repeats=args.repeats)
+
+    def progress(config, repeat):
+        print(f"... backend={config.backend} scale={config.scale} "
+              f"repeat={repeat}", flush=True)
+
+    records = run_sweep(plan, progress=progress)
+    document = build_report(records)
+    if args.output:
+        Path(args.output).write_text(document, encoding="utf-8")
+        print(f"report written to {args.output}")
+    else:
+        print(document)
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    """Calibrate the hardware model and compare against measurements."""
+    from repro.perfmodel.compare import extrapolation_study, render_comparison
+
+    study = extrapolation_study(
+        calibration_scale=args.calibration_scale,
+        predicted_scales=args.scales,
+        backend=args.backend,
+        seed=args.seed,
+    )
+    print(f"calibrated on scale {study.calibration_scale} "
+          f"({args.backend} backend); model rates:")
+    hw = study.hardware
+    print(f"  memory bandwidth : {hw.mem_bw_bytes_per_s:,.0f} B/s")
+    print(f"  storage write    : {hw.storage_write_bytes_per_s:,.0f} B/s")
+    print(f"  storage read     : {hw.storage_read_bytes_per_s:,.0f} B/s")
+    print(f"  scalar op rate   : {hw.scalar_ops_per_s:,.0f} ops/s")
+    for scale, comparisons in sorted(study.comparisons.items()):
+        print(f"\nscale {scale} (N={1 << scale:,}, M={16 << scale:,}):")
+        print(render_comparison(comparisons))
+    print(f"\nworst error factor: {study.worst_error():.2f}x")
+    return 0
+
+
+def cmd_scaling(args: argparse.Namespace) -> int:
+    """Run a size- or strong-scaling study and print the table."""
+    from repro.harness.scaling import (
+        render_size_scaling,
+        render_strong_scaling,
+        size_scaling,
+        strong_scaling,
+    )
+
+    if args.mode == "size":
+        kernel = KernelName(args.kernel)
+        study = size_scaling(
+            args.scales, backend=args.backend, kernel=kernel, seed=args.seed
+        )
+        print(render_size_scaling(study))
+        return 0
+    study = strong_scaling(
+        args.ranks, scale=args.scale, iterations=args.iterations,
+        seed=args.seed,
+    )
+    print(render_strong_scaling(study))
+    print("note: simulated ranks share one GIL; the load-bearing columns "
+          "are allreduce bytes and the per-rank balance, not wall-clock "
+          "speedup")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    """List registered backends, generators, and experiments."""
+    del args
+    print("backends:")
+    for name in available_backends():
+        print(f"  {name}")
+    print("generators:")
+    for name, description in available_generators().items():
+        print(f"  {name:12s} {description}")
+    print("experiments:")
+    for name, description in available_experiments().items():
+        print(f"  {name:8s} {description}")
+    return 0

@@ -1,0 +1,187 @@
+"""``repro-pipeline`` entry point: argument parsing and dispatch."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.cli import commands
+from repro.core.config import KernelName
+
+
+def _csv_ints(text: str) -> List[int]:
+    try:
+        return [int(part) for part in text.split(",") if part.strip()]
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"expected comma-separated ints: {exc}")
+
+
+def _csv_strs(text: str) -> List[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the full argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-pipeline",
+        description=(
+            "PageRank Pipeline Benchmark (Dreher et al. 2016) — run the "
+            "four-kernel pipeline, sweeps, and the paper's tables/figures."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run the pipeline once and report")
+    run.add_argument("--scale", type=int, default=12, help="Graph500 scale S")
+    run.add_argument("--edge-factor", type=int, default=16)
+    run.add_argument("--backend", default="scipy")
+    run.add_argument("--generator", default="kronecker")
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--num-files", type=int, default=1,
+                     help="shard count for kernel 0/1 output files")
+    run.add_argument("--iterations", type=int, default=20)
+    run.add_argument("--damping", type=float, default=0.85)
+    run.add_argument("--sort-algorithm", default="numpy",
+                     choices=["numpy", "counting", "radix"])
+    run.add_argument("--external-sort", action="store_true",
+                     help="force the out-of-core sort path in kernel 1")
+    run.add_argument("--file-format", default="tsv",
+                     choices=["tsv", "npy", "tsv.gz"])
+    run.add_argument("--data-dir", default=None,
+                     help="keep kernel files here instead of a temp dir")
+    run.add_argument("--validate", action="store_true",
+                     help="run the eigenvector cross-check after kernel 3")
+    run.add_argument("--json", action="store_true", help="emit JSON result")
+    run.set_defaults(func=commands.cmd_run)
+
+    sweep = sub.add_parser("sweep", help="run a (backend x scale) grid")
+    sweep.add_argument("--scales", type=_csv_ints, default=[10, 12, 14])
+    sweep.add_argument("--backends", type=_csv_strs,
+                       default=["python", "numpy", "scipy", "dataframe", "graphblas"])
+    sweep.add_argument("--repeats", type=int, default=1)
+    sweep.add_argument("--seed", type=int, default=1)
+    sweep.add_argument("--output", default=None,
+                       help="write records to this .json/.csv file")
+    sweep.set_defaults(func=commands.cmd_sweep)
+
+    figures = sub.add_parser("figures", help="regenerate paper figures 4-7")
+    figures.add_argument("--id", dest="experiment_id", default="fig7",
+                         choices=["fig4", "fig5", "fig6", "fig7"])
+    figures.add_argument("--scales", type=_csv_ints, default=None)
+    figures.add_argument("--backends", type=_csv_strs, default=None)
+    figures.add_argument("--repeats", type=int, default=1)
+    figures.add_argument("--output", default=None,
+                         help="also write records to this .json/.csv file")
+    figures.set_defaults(func=commands.cmd_figures)
+
+    tables = sub.add_parser("tables", help="regenerate paper tables I / II")
+    tables.add_argument("--id", dest="experiment_id", default="table2",
+                        choices=["table1", "table2"])
+    tables.add_argument("--scales", type=_csv_ints, default=None)
+    tables.set_defaults(func=commands.cmd_tables)
+
+    parallel = sub.add_parser(
+        "parallel", help="distributed K2+K3 demo (simulated ranks)"
+    )
+    parallel.add_argument("--scale", type=int, default=12)
+    parallel.add_argument("--edge-factor", type=int, default=16)
+    parallel.add_argument("--ranks", type=int, default=4)
+    parallel.add_argument("--iterations", type=int, default=20)
+    parallel.add_argument("--seed", type=int, default=1)
+    parallel.add_argument("--executor", default="sim", choices=["sim", "mp"])
+    parallel.set_defaults(func=commands.cmd_parallel)
+
+    validate = sub.add_parser(
+        "validate", help="eigenvector cross-check of a pipeline run"
+    )
+    validate.add_argument("--scale", type=int, default=10)
+    validate.add_argument("--backend", default="scipy")
+    validate.add_argument("--seed", type=int, default=1)
+    validate.add_argument("--tolerance", type=float, default=0.05)
+    validate.set_defaults(func=commands.cmd_validate)
+
+    golden = sub.add_parser(
+        "golden",
+        help="produce or check a golden correctness record "
+             "(the paper's 'what outputs should be recorded?' answer)",
+    )
+    golden.add_argument("--scale", type=int, default=8)
+    golden.add_argument("--backend", default="scipy")
+    golden.add_argument("--seed", type=int, default=1)
+    golden.add_argument("--save", default=None,
+                        help="write the record to this JSON file")
+    golden.add_argument("--check", default=None,
+                        help="compare against a previously saved record")
+    golden.set_defaults(func=commands.cmd_golden)
+
+    report = sub.add_parser(
+        "report", help="run sweeps and emit a paper-vs-measured markdown report"
+    )
+    report.add_argument("--scales", type=_csv_ints, default=[10, 12])
+    report.add_argument("--backends", type=_csv_strs,
+                        default=["python", "numpy", "scipy", "dataframe",
+                                 "graphblas"])
+    report.add_argument("--repeats", type=int, default=1)
+    report.add_argument("--output", default=None,
+                        help="write the markdown report here (stdout otherwise)")
+    report.set_defaults(func=commands.cmd_report)
+
+    predict = sub.add_parser(
+        "predict",
+        help="calibrate the hardware model on one scale and compare "
+             "predictions against measurements at others (paper Section V)",
+    )
+    predict.add_argument("--calibration-scale", type=int, default=10)
+    predict.add_argument("--scales", type=_csv_ints, default=None,
+                         help="scales to predict (default: calibration+2)")
+    predict.add_argument("--backend", default="scipy")
+    predict.add_argument("--seed", type=int, default=1)
+    predict.set_defaults(func=commands.cmd_predict)
+
+    scaling = sub.add_parser(
+        "scaling",
+        help="throughput-vs-size or strong-scaling (ranks) study",
+    )
+    scaling.add_argument("--mode", default="size",
+                         choices=["size", "strong"])
+    scaling.add_argument("--scales", type=_csv_ints, default=[8, 10, 12],
+                         help="scales for --mode size")
+    scaling.add_argument("--backend", default="scipy")
+    scaling.add_argument("--kernel", default="k3-pagerank",
+                         choices=[k.value for k in KernelName])
+    scaling.add_argument("--scale", type=int, default=12,
+                         help="problem size for --mode strong")
+    scaling.add_argument("--ranks", type=_csv_ints, default=[2, 4, 8],
+                         help="rank counts for --mode strong")
+    scaling.add_argument("--iterations", type=int, default=20)
+    scaling.add_argument("--seed", type=int, default=1)
+    scaling.set_defaults(func=commands.cmd_scaling)
+
+    info = sub.add_parser("info", help="list backends/generators/experiments")
+    info.set_defaults(func=commands.cmd_info)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Output was piped into something that closed early (e.g.
+        # `repro-pipeline info | head`); exit quietly like other CLIs.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,28 @@
+"""Pipeline core: configuration, kernel sequencing, timing, results.
+
+This package owns the benchmark *protocol* — what each kernel must do,
+in what order, and how performance is reported — while the actual kernel
+implementations live in :mod:`repro.backends`.  The split mirrors the
+paper's "algorithm-oriented benchmark" philosophy (Section II): inputs,
+outputs, and the algorithm are fixed here; the implementation technology
+is swappable.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import KernelName, PipelineConfig, run_sizes_table
+from repro.core.exceptions import KernelContractError, PipelineError
+from repro.core.pipeline import Pipeline, run_pipeline
+from repro.core.results import KernelResult, PipelineResult
+
+__all__ = [
+    "KernelContractError",
+    "KernelName",
+    "KernelResult",
+    "Pipeline",
+    "PipelineConfig",
+    "PipelineError",
+    "PipelineResult",
+    "run_pipeline",
+    "run_sizes_table",
+]

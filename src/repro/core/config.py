@@ -1,0 +1,231 @@
+"""Benchmark configuration.
+
+:class:`PipelineConfig` is the single source of truth for a run: sizes,
+seeds, file layout, backend and algorithm switches.  It is immutable,
+hashable, JSON-serialisable, and fully determines the pipeline output
+(given the same library version) — reproducibility is a config property,
+not a harness afterthought.
+
+:func:`run_sizes_table` regenerates the paper's Table II from first
+principles.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro._util import check_in_range, check_nonneg_int, check_positive_int
+from repro.generators.base import BYTES_PER_EDGE, GeneratorSpec
+
+
+class KernelName(str, enum.Enum):
+    """The four pipeline kernels, in execution order."""
+
+    K0_GENERATE = "k0-generate"
+    K1_SORT = "k1-sort"
+    K2_FILTER = "k2-filter"
+    K3_PAGERANK = "k3-pagerank"
+
+    @property
+    def index(self) -> int:
+        """0-based kernel position."""
+        return list(KernelName).index(self)
+
+
+#: Damping factor fixed by the paper (Section IV.D).
+DEFAULT_DAMPING = 0.85
+#: PageRank iteration count fixed by the paper.
+DEFAULT_ITERATIONS = 20
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Everything needed to reproduce one benchmark run.
+
+    Attributes
+    ----------
+    scale:
+        Graph500 scale ``S``: the graph has ``N = 2**S`` vertices.
+    edge_factor:
+        Edges per vertex ``k`` (paper fixes 16).
+    seed:
+        Root RNG seed; child streams are derived deterministically.
+    num_files:
+        Shard count for Kernels 0 and 1 output ("a free parameter to be
+        set by the implementer or the user").
+    backend:
+        Registered backend name (see :func:`repro.backends.registry`).
+    generator:
+        Registered Kernel 0 generator name.
+    damping:
+        PageRank damping ``c``.
+    iterations:
+        Fixed PageRank iteration count.
+    data_dir:
+        Directory for kernel files; ``None`` means a temporary directory
+        cleaned up after the run.
+    vertex_base:
+        On-disk vertex label base (0, or 1 for Matlab convention).
+    file_format:
+        ``"tsv"`` (paper) or ``"npy"`` (binary ablation).
+    sort_algorithm:
+        In-memory sort used by Kernel 1 (``numpy``/``counting``/``radix``).
+    sort_by_end_vertex:
+        Also order ties by end vertex (paper's open question).
+    external_sort:
+        Force the out-of-core sort path in Kernel 1 regardless of size.
+    formula:
+        Kernel 3 update form: ``"appendix"`` (with ``/N``, the correct
+        PageRank) or ``"paper-body"`` (the body text's typo, kept for
+        documentation of the divergence).
+    validate:
+        Run the eigenvector cross-check after Kernel 3 (small scales).
+    keep_files:
+        Keep kernel files after the run even in a temp dir.
+    """
+
+    scale: int
+    edge_factor: int = 16
+    seed: int = 1
+    num_files: int = 1
+    backend: str = "scipy"
+    generator: str = "kronecker"
+    damping: float = DEFAULT_DAMPING
+    iterations: int = DEFAULT_ITERATIONS
+    data_dir: Optional[Path] = None
+    vertex_base: int = 0
+    file_format: str = "tsv"
+    sort_algorithm: str = "numpy"
+    sort_by_end_vertex: bool = False
+    external_sort: bool = False
+    formula: str = "appendix"
+    validate: bool = False
+    keep_files: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive_int("scale", self.scale)
+        check_positive_int("edge_factor", self.edge_factor)
+        check_nonneg_int("seed", self.seed)
+        check_positive_int("num_files", self.num_files)
+        check_in_range("damping", self.damping, 0.0, 1.0)
+        check_positive_int("iterations", self.iterations)
+        check_nonneg_int("vertex_base", self.vertex_base)
+        if self.vertex_base not in (0, 1):
+            raise ValueError(f"vertex_base must be 0 or 1, got {self.vertex_base}")
+        if self.file_format not in ("tsv", "npy", "tsv.gz"):
+            raise ValueError(
+                "file_format must be 'tsv', 'npy', or 'tsv.gz', "
+                f"got {self.file_format!r}"
+            )
+        if self.formula not in ("appendix", "paper-body"):
+            raise ValueError(
+                f"formula must be 'appendix' or 'paper-body', got {self.formula!r}"
+            )
+        if self.data_dir is not None:
+            object.__setattr__(self, "data_dir", Path(self.data_dir))
+
+    # ------------------------------------------------------------------
+    # Derived sizes (paper Section IV.A / Table II)
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """``N = 2**scale``."""
+        return GeneratorSpec(self.scale, self.edge_factor).num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        """``M = edge_factor * N``."""
+        return GeneratorSpec(self.scale, self.edge_factor).num_edges
+
+    @property
+    def memory_bytes(self) -> int:
+        """Edge-data footprint at 16 bytes/edge (Table II's column)."""
+        return self.num_edges * BYTES_PER_EDGE
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict (paths become strings)."""
+        doc = asdict(self)
+        if doc["data_dir"] is not None:
+            doc["data_dir"] = str(doc["data_dir"])
+        return doc
+
+    def to_json(self) -> str:
+        """Stable JSON encoding."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "PipelineConfig":
+        """Inverse of :meth:`to_dict`."""
+        doc = dict(doc)
+        if doc.get("data_dir"):
+            doc["data_dir"] = Path(str(doc["data_dir"]))
+        return cls(**doc)  # type: ignore[arg-type]
+
+    def with_overrides(self, **changes: object) -> "PipelineConfig":
+        """Functional update (delegates to ``dataclasses.replace``)."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class RunSizeRow:
+    """One row of the paper's Table II."""
+
+    scale: int
+    max_vertices: int
+    max_edges: int
+    memory_bytes: int
+
+
+#: Bytes/edge that reproduce the paper's Table II memory column.
+#: The paper's *text* says "assuming 16 bytes per edge", but its printed
+#: numbers (25MB at scale 16 … 1.6GB at scale 22) only follow from
+#: ~24 bytes/edge (1048576 * 24 = 25.2 MB; 67108864 * 24 = 1.61 GB).
+#: We reproduce the published numbers and document the discrepancy in
+#: EXPERIMENTS.md.
+TABLE2_BYTES_PER_EDGE = 24
+
+
+def run_sizes_table(
+    scales: Optional[List[int]] = None,
+    edge_factor: int = 16,
+    bytes_per_edge: int = TABLE2_BYTES_PER_EDGE,
+) -> List[RunSizeRow]:
+    """Regenerate the paper's Table II (benchmark run sizes).
+
+    Parameters
+    ----------
+    scales:
+        Scale factors to tabulate; defaults to the paper's 16..22.
+    edge_factor:
+        Edges per vertex (paper: 16).
+    bytes_per_edge:
+        Memory-column multiplier; the default 24 matches the paper's
+        printed numbers (its text says 16 — see
+        :data:`TABLE2_BYTES_PER_EDGE`).
+
+    Examples
+    --------
+    >>> rows = run_sizes_table([16])
+    >>> rows[0].max_vertices, rows[0].max_edges
+    (65536, 1048576)
+    """
+    scales = scales if scales is not None else list(range(16, 23))
+    rows = []
+    for scale in scales:
+        spec = GeneratorSpec(scale, edge_factor)
+        rows.append(
+            RunSizeRow(
+                scale=scale,
+                max_vertices=spec.num_vertices,
+                max_edges=spec.num_edges,
+                memory_bytes=spec.num_edges * bytes_per_edge,
+            )
+        )
+    return rows

@@ -1,0 +1,18 @@
+"""Pipeline-level exceptions."""
+
+from __future__ import annotations
+
+
+class PipelineError(Exception):
+    """Base class for pipeline failures."""
+
+
+class KernelContractError(PipelineError):
+    """A kernel produced output violating the benchmark specification
+    (e.g. Kernel 1 output not sorted, Kernel 2 matrix entries not
+    summing to M, rank vector containing non-finite values)."""
+
+
+class ValidationError(PipelineError):
+    """The PageRank result failed the eigenvector cross-check of paper
+    Section IV.D."""

@@ -1,0 +1,152 @@
+"""Result records for kernels and whole pipeline runs.
+
+The benchmark's reporting currency is *edges per second*:
+
+* Kernel 1 and 2: ``M / t``;
+* Kernel 3: ``iterations * M / t`` (20 SpMVs each touch all M edges);
+* Kernel 0 is officially untimed but measured anyway for Figure 4.
+
+``KernelResult`` captures one kernel's timing plus a free-form details
+dict (phase breakdowns, nnz counts); ``PipelineResult`` aggregates the
+four kernels with the config echo and optional validation output.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.config import KernelName, PipelineConfig
+
+
+@dataclass(frozen=True)
+class KernelResult:
+    """Timing and throughput for one kernel execution.
+
+    Attributes
+    ----------
+    kernel:
+        Which kernel this measures.
+    seconds:
+        Wall-clock duration of the timed region.
+    edges_processed:
+        Edge operations attributed to the kernel (``M``, or
+        ``iterations * M`` for Kernel 3).
+    officially_timed:
+        False for Kernel 0, whose "performance is not part of the
+        benchmark" but is still reported in the paper's Figure 4.
+    details:
+        Free-form metrics: phase timings, nnz, eliminated column counts…
+    """
+
+    kernel: KernelName
+    seconds: float
+    edges_processed: int
+    officially_timed: bool = True
+    details: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def edges_per_second(self) -> float:
+        """Throughput; ``inf`` when the timed region was unmeasurably fast."""
+        if self.seconds <= 0.0:
+            return float("inf")
+        return self.edges_processed / self.seconds
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe encoding."""
+        return {
+            "kernel": self.kernel.value,
+            "seconds": self.seconds,
+            "edges_processed": self.edges_processed,
+            "edges_per_second": self.edges_per_second,
+            "officially_timed": self.officially_timed,
+            "details": _json_safe(self.details),
+        }
+
+
+@dataclass
+class PipelineResult:
+    """Everything a pipeline run produced.
+
+    Attributes
+    ----------
+    config:
+        The config that produced this result.
+    kernels:
+        Per-kernel results, in execution order.
+    rank:
+        Final PageRank vector (length ``N``).
+    validation:
+        Eigenvector cross-check output when ``config.validate`` was set.
+    """
+
+    config: PipelineConfig
+    kernels: List[KernelResult] = field(default_factory=list)
+    rank: Optional[np.ndarray] = None
+    validation: Optional[Dict[str, object]] = None
+
+    def kernel(self, name: KernelName) -> KernelResult:
+        """Fetch one kernel's result.
+
+        Raises
+        ------
+        KeyError
+            If the kernel did not run.
+        """
+        for result in self.kernels:
+            if result.kernel is name:
+                return result
+        raise KeyError(f"no result recorded for {name.value}")
+
+    @property
+    def total_seconds(self) -> float:
+        """Sum of all kernel durations (including the untimed Kernel 0)."""
+        return sum(k.seconds for k in self.kernels)
+
+    @property
+    def benchmark_seconds(self) -> float:
+        """Sum over officially timed kernels only (K1 + K2 + K3)."""
+        return sum(k.seconds for k in self.kernels if k.officially_timed)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe encoding (the rank vector is summarised, not dumped)."""
+        doc: Dict[str, object] = {
+            "config": self.config.to_dict(),
+            "kernels": [k.to_dict() for k in self.kernels],
+            "total_seconds": self.total_seconds,
+            "benchmark_seconds": self.benchmark_seconds,
+        }
+        if self.rank is not None:
+            doc["rank_summary"] = {
+                "size": int(self.rank.size),
+                "sum": float(self.rank.sum()),
+                "max": float(self.rank.max()) if self.rank.size else 0.0,
+                "argmax": int(self.rank.argmax()) if self.rank.size else -1,
+            }
+        if self.validation is not None:
+            doc["validation"] = _json_safe(self.validation)
+        return doc
+
+    def to_json(self) -> str:
+        """Stable JSON encoding of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+def _json_safe(value):
+    """Recursively convert numpy scalars/arrays for JSON encoding."""
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    return value

@@ -1,0 +1,238 @@
+"""Out-of-core Kernel 2: build the filtered matrix from a sorted dataset
+without materialising the raw edge list in memory.
+
+The paper notes Kernel 2 can be "IO limited … memory limited … or
+network limited" depending on scale; this module addresses the memory
+axis.  Because Kernel 1 sorted the edges by start vertex, Kernel 2 can
+stream:
+
+* **pass 1** — stream batches, deduplicate within each batch (safe: a
+  duplicate pair can only span batches at a row boundary, handled by a
+  carry buffer), accumulate the in-degree vector and spill deduplicated
+  triples to a compact binary scratch file;
+* **decide** — compute the elimination mask from the full in-degree;
+* **pass 2** — stream the scratch triples, drop eliminated columns,
+  accumulate out-degrees (rows arrive contiguously, so each row
+  finishes before the next begins), normalise and emit CSR pieces.
+
+Peak memory is O(batch + N) instead of O(M + N).
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro._util import check_positive_int
+from repro.edgeio.dataset import EdgeDataset
+
+
+@dataclass(frozen=True)
+class StreamingKernel2Result:
+    """Output of the streaming Kernel 2.
+
+    Attributes
+    ----------
+    matrix:
+        Row-normalised CSR matrix (same value as the in-memory path).
+    pre_filter_entry_total:
+        Sum of adjacency counts before elimination (must equal ``M``).
+    eliminated_columns:
+        Number of zeroed columns (super-node + leaves).
+    batches:
+        Batches streamed in pass 1 (instrumentation).
+    """
+
+    matrix: sp.csr_matrix
+    pre_filter_entry_total: float
+    eliminated_columns: int
+    batches: int
+
+
+def _dedup_sorted_batch(
+    u: np.ndarray, v: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Collapse duplicates in a batch that is already sorted by ``u``.
+
+    Within a batch, ties in ``u`` may appear in any ``v`` order, so the
+    batch is lexsorted before run-collapsing — O(batch log batch), not
+    O(M log M).
+    """
+    if len(u) == 0:
+        return u, v, np.empty(0, dtype=np.float64)
+    order = np.lexsort((v, u))
+    su, sv = u[order], v[order]
+    new_pair = np.r_[True, (su[1:] != su[:-1]) | (sv[1:] != sv[:-1])]
+    group = np.cumsum(new_pair) - 1
+    counts = np.bincount(group).astype(np.float64)
+    return su[new_pair], sv[new_pair], counts
+
+
+def _stream_dedup(
+    dataset: EdgeDataset, batch_edges: int
+) -> Iterator[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Yield deduplicated (rows, cols, counts) runs in row order.
+
+    A carry buffer holds the final row of each batch so duplicates that
+    straddle a batch boundary (possible only for the boundary row, since
+    input is sorted by row) are merged before emission.
+    """
+    carry_u = np.empty(0, dtype=np.int64)
+    carry_v = np.empty(0, dtype=np.int64)
+    carry_c = np.empty(0, dtype=np.float64)
+    for u, v in dataset.iter_batches(batch_edges):
+        if len(u) > 1 and np.any(u[1:] < u[:-1]):
+            raise ValueError(
+                "streaming_kernel2 requires input sorted by start vertex "
+                "(kernel 1 output); found a backward row within a batch"
+            )
+        du, dv, dc = _dedup_sorted_batch(u, v)
+        if len(carry_u):
+            du = np.concatenate([carry_u, du])
+            dv = np.concatenate([carry_v, dv])
+            dc = np.concatenate([carry_c, dc])
+            # Re-collapse: carry rows may repeat pairs from this batch.
+            order = np.lexsort((dv, du))
+            du, dv, dc = du[order], dv[order], dc[order]
+            new_pair = np.r_[True, (du[1:] != du[:-1]) | (dv[1:] != dv[:-1])]
+            group = np.cumsum(new_pair) - 1
+            sums = np.bincount(group, weights=dc)
+            du, dv, dc = du[new_pair], dv[new_pair], sums
+        if len(du) == 0:
+            continue
+        last_row = du[-1]
+        boundary = int(np.searchsorted(du, last_row, side="left"))
+        emit_u, emit_v, emit_c = du[:boundary], dv[:boundary], dc[:boundary]
+        carry_u, carry_v, carry_c = du[boundary:], dv[boundary:], dc[boundary:]
+        if len(emit_u):
+            yield emit_u, emit_v, emit_c
+    if len(carry_u):
+        yield carry_u, carry_v, carry_c
+
+
+def streaming_kernel2(
+    dataset: EdgeDataset,
+    *,
+    batch_edges: int = 1 << 18,
+    scratch_dir: Optional[Path] = None,
+) -> StreamingKernel2Result:
+    """Run Kernel 2 with memory bounded by ``O(batch_edges + N)``.
+
+    Parameters
+    ----------
+    dataset:
+        Kernel 1 output — **must** be sorted by start vertex (verified
+        streamingly; a violation raises ``ValueError``).
+    batch_edges:
+        Pass-1 batch size (the memory knob).
+    scratch_dir:
+        Where the deduplicated spill file lives; a temp dir by default.
+
+    Returns
+    -------
+    StreamingKernel2Result
+        Matching the in-memory Kernel 2 output exactly (asserted by the
+        integration tests).
+
+    Examples
+    --------
+    >>> # see tests/integration/test_streaming_kernel2.py
+    """
+    check_positive_int("batch_edges", batch_edges)
+    n = dataset.num_vertices
+
+    own_scratch = scratch_dir is None
+    scratch = Path(scratch_dir) if scratch_dir else Path(
+        tempfile.mkdtemp(prefix="repro-streamk2-")
+    )
+    scratch.mkdir(parents=True, exist_ok=True)
+    spill_path = scratch / "dedup.bin"
+
+    din = np.zeros(n, dtype=np.float64)
+    total = 0.0
+    batches = 0
+    last_row_seen = -1
+    triples = 0
+    try:
+        # ---- pass 1: dedup + in-degree + spill ----------------------
+        with open(spill_path, "wb") as spill:
+            for rows, cols, counts in _stream_dedup(dataset, batch_edges):
+                if rows[0] < last_row_seen:
+                    raise ValueError(
+                        "streaming_kernel2 requires input sorted by start "
+                        "vertex (kernel 1 output); found a backward row"
+                    )
+                last_row_seen = int(rows[-1])
+                din += np.bincount(cols, weights=counts, minlength=n)
+                total += counts.sum()
+                stacked = np.empty((len(rows), 3), dtype=np.float64)
+                stacked[:, 0] = rows
+                stacked[:, 1] = cols
+                stacked[:, 2] = counts
+                stacked.tofile(spill)
+                triples += len(rows)
+                batches += 1
+
+        # ---- decide elimination -------------------------------------
+        max_in = din.max() if n else 0.0
+        if max_in > 0:
+            eliminate = (din == max_in) | (din == 1)
+        else:
+            eliminate = np.zeros(n, dtype=bool)
+
+        # ---- pass 2: filter + normalise + assemble CSR --------------
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        kept_cols = []
+        kept_vals = []
+        if triples:
+            mm = np.memmap(spill_path, dtype=np.float64, mode="r",
+                           shape=(triples, 3))
+            cursor = 0
+            while cursor < triples:
+                end = min(cursor + batch_edges, triples)
+                block = np.asarray(mm[cursor:end])
+                cursor = end
+                rows = block[:, 0].astype(np.int64)
+                cols = block[:, 1].astype(np.int64)
+                vals = block[:, 2]
+                keep = ~eliminate[cols]
+                rows, cols, vals = rows[keep], cols[keep], vals[keep]
+                if len(rows) == 0:
+                    continue
+                # Rows are contiguous in the stream; row degrees can be
+                # accumulated into indptr counts directly.
+                np.add.at(indptr, rows + 1, 1)
+                kept_cols.append(cols)
+                kept_vals.append(vals)
+            del mm
+
+        col_idx = (np.concatenate(kept_cols) if kept_cols
+                   else np.empty(0, dtype=np.int64))
+        values = (np.concatenate(kept_vals) if kept_vals
+                  else np.empty(0, dtype=np.float64))
+        np.cumsum(indptr, out=indptr)
+
+        matrix = sp.csr_matrix((values, col_idx, indptr), shape=(n, n))
+        dout = np.asarray(matrix.sum(axis=1)).ravel()
+        inv = np.ones(n)
+        nonzero = dout > 0
+        inv[nonzero] = 1.0 / dout[nonzero]
+        matrix = (sp.diags(inv) @ matrix).tocsr()
+
+        return StreamingKernel2Result(
+            matrix=matrix,
+            pre_filter_entry_total=float(total),
+            eliminated_columns=int(eliminate.sum()),
+            batches=batches,
+        )
+    finally:
+        spill_path.unlink(missing_ok=True)
+        if own_scratch:
+            import shutil
+
+            shutil.rmtree(scratch, ignore_errors=True)

@@ -1,0 +1,17 @@
+"""Exceptions raised by the edge-file layer."""
+
+from __future__ import annotations
+
+
+class EdgeIOError(Exception):
+    """Base class for all edge-file I/O failures."""
+
+
+class CorruptEdgeFileError(EdgeIOError):
+    """An edge file contains malformed lines (wrong field count,
+    non-numeric labels, or labels outside the declared vertex range)."""
+
+
+class DatasetLayoutError(EdgeIOError):
+    """A dataset directory is missing shards, its manifest disagrees with
+    the files on disk, or the manifest itself is unreadable."""

@@ -1,0 +1,115 @@
+"""TSV I/O for :class:`repro.frame.Frame`.
+
+Matches the pipeline's edge-file format when used with two int64
+columns, but works for any column set (used by the harness to dump
+result tables too).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.frame.frame import Frame
+
+
+def write_tsv_frame(frame: Frame, path: Path, *, header: bool = False) -> int:
+    """Write a frame as TSV; returns bytes written.
+
+    Parameters
+    ----------
+    frame:
+        Source frame.
+    header:
+        Emit a first line with column names (the pipeline's edge files
+        are headerless; harness tables use headers).
+    """
+    path = Path(path)
+    names = frame.column_names
+    columns = [frame.column(n) for n in names]
+    parts = []
+    if header:
+        parts.append("\t".join(names) + "\n")
+    if frame.num_rows:
+        text_cols = []
+        for col in columns:
+            if np.issubdtype(col.dtype, np.integer):
+                text_cols.append(np.char.mod("%d", col))
+            elif np.issubdtype(col.dtype, np.floating):
+                text_cols.append(np.char.mod("%.17g", col))
+            else:
+                text_cols.append(col.astype(str))
+        merged = text_cols[0]
+        for col in text_cols[1:]:
+            merged = np.char.add(np.char.add(merged, "\t"), col)
+        parts.append("\n".join(merged.tolist()) + "\n")
+    payload = "".join(parts).encode("ascii")
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_bytes(payload)
+    tmp.replace(path)
+    return len(payload)
+
+
+def read_tsv_frame(
+    path: Path,
+    *,
+    names: Optional[Sequence[str]] = None,
+    dtypes: Optional[Sequence[np.dtype]] = None,
+    header: bool = False,
+) -> Frame:
+    """Read a TSV file into a frame.
+
+    Parameters
+    ----------
+    path:
+        Input file.
+    names:
+        Column names; required when ``header`` is False.
+    dtypes:
+        Per-column dtypes; default int64 for every column.
+    header:
+        First line holds column names.
+
+    Raises
+    ------
+    ValueError
+        On ragged rows or missing names.
+    """
+    path = Path(path)
+    text = path.read_text(encoding="ascii")
+    lines = [ln for ln in text.splitlines() if ln.strip()]
+    if header:
+        if not lines:
+            raise ValueError(f"{path}: empty file but header=True")
+        names = lines[0].split("\t")
+        lines = lines[1:]
+    if names is None:
+        raise ValueError("names is required when the file has no header")
+    names = list(names)
+    ncols = len(names)
+    if dtypes is None:
+        dtypes = [np.dtype(np.int64)] * ncols
+    if len(dtypes) != ncols:
+        raise ValueError(f"{len(dtypes)} dtypes for {ncols} columns")
+
+    if not lines:
+        return Frame({n: np.empty(0, dtype=d) for n, d in zip(names, dtypes)})
+
+    cells = [ln.split("\t") for ln in lines]
+    widths = {len(row) for row in cells}
+    if widths != {ncols}:
+        raise ValueError(
+            f"{path}: ragged rows — expected {ncols} fields, saw widths {sorted(widths)}"
+        )
+    raw = np.array(cells)
+    columns = {}
+    for index, (name, dtype) in enumerate(zip(names, dtypes)):
+        try:
+            columns[name] = raw[:, index].astype(dtype)
+        except ValueError as exc:
+            raise ValueError(
+                f"{path}: column {name!r} cannot convert to {dtype}: {exc}"
+            ) from exc
+    return Frame(columns)

@@ -1,0 +1,91 @@
+"""Name-based generator lookup for the CLI and harness.
+
+All registered generators share the signature
+``fn(scale, edge_factor, *, seed) -> (u, v)`` so the pipeline can swap
+Kernel 0's generator with a config string — the ablation the paper's
+"next steps" section asks for.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro._util.rng import SeedLike
+from repro.generators.base import EdgeList, GeneratorSpec
+from repro.generators.bter import bter_edges
+from repro.generators.kronecker import kronecker_edges
+from repro.generators.ppl import ppl_edges
+from repro.generators.simple import erdos_renyi_edges, ring_graph_edges
+
+GeneratorFn = Callable[..., EdgeList]
+
+
+def _kronecker(scale: int, edge_factor: int, *, seed: SeedLike = None) -> EdgeList:
+    return kronecker_edges(scale, edge_factor, seed=seed)
+
+
+def _erdos_renyi(scale: int, edge_factor: int, *, seed: SeedLike = None) -> EdgeList:
+    spec = GeneratorSpec(scale, edge_factor)
+    return erdos_renyi_edges(spec.num_vertices, spec.num_edges, seed=seed)
+
+
+def _bter(scale: int, edge_factor: int, *, seed: SeedLike = None) -> EdgeList:
+    spec = GeneratorSpec(scale, edge_factor)
+    # Scale a PPL sequence so its total approximates M = k*N out-edges.
+    from repro.generators.ppl import ppl_degree_sequence
+
+    degrees = ppl_degree_sequence(spec.num_vertices, exponent=1.6)
+    total = degrees.sum()
+    if total > 0:
+        factor = spec.num_edges / total
+        degrees = np.maximum(0, np.round(degrees * factor)).astype(np.int64)
+    return bter_edges(spec.num_vertices, degrees=degrees, seed=seed)
+
+
+def _ppl(scale: int, edge_factor: int, *, seed: SeedLike = None) -> EdgeList:
+    spec = GeneratorSpec(scale, edge_factor)
+    from repro.generators.ppl import ppl_degree_sequence
+
+    degrees = ppl_degree_sequence(spec.num_vertices, exponent=1.6)
+    total = degrees.sum()
+    if total > 0:
+        factor = spec.num_edges / total
+        degrees = np.maximum(0, np.round(degrees * factor)).astype(np.int64)
+    return ppl_edges(spec.num_vertices, degrees=degrees, seed=seed)
+
+
+def _ring(scale: int, edge_factor: int, *, seed: SeedLike = None) -> EdgeList:
+    del edge_factor, seed  # deterministic; one edge per vertex
+    spec = GeneratorSpec(scale, 1)
+    return ring_graph_edges(spec.num_vertices)
+
+
+_REGISTRY: Dict[str, Tuple[GeneratorFn, str]] = {
+    "kronecker": (_kronecker, "Graph500 Kronecker / R-MAT (paper Kernel 0)"),
+    "erdos-renyi": (_erdos_renyi, "uniform random directed multigraph"),
+    "bter": (_bter, "block two-level Erdős–Rényi (Seshadhri et al. 2012)"),
+    "ppl": (_ppl, "perfect power law stub pairing (Kepner 2012)"),
+    "ring": (_ring, "deterministic directed cycle (validation)"),
+}
+
+
+def available_generators() -> Dict[str, str]:
+    """Mapping of registered generator name -> one-line description."""
+    return {name: desc for name, (_, desc) in _REGISTRY.items()}
+
+
+def get_generator(name: str) -> GeneratorFn:
+    """Look up a generator by registry name.
+
+    Raises
+    ------
+    KeyError
+        If ``name`` is not registered; the message lists valid names.
+    """
+    try:
+        return _REGISTRY[name][0]
+    except KeyError:
+        valid = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown generator {name!r}; available: {valid}") from None

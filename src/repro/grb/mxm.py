@@ -1,0 +1,168 @@
+"""Matrix-matrix products and element-wise matrix operations.
+
+Extends GraphBLAS-lite beyond what the pipeline strictly needs, enabling
+the graph algorithms in :mod:`repro.grb.algorithms` (BFS, triangle
+counting — operations from the paper's Figure 2 taxonomy such as
+"extend search/hop" and "bulk analyze graphs").
+
+``mxm`` is implemented as a row-wise expansion: for each row ``i`` of
+``A``, the rows of ``B`` indexed by ``A``'s column indices are combined
+— the classical CSR SpGEMM formulated with numpy segment primitives.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.grb.matrix import Matrix
+from repro.grb.semiring import PLUS_TIMES, Semiring
+
+
+def mxm(a: Matrix, b: Matrix, semiring: Semiring = PLUS_TIMES) -> Matrix:
+    """Sparse matrix-matrix product ``C = A ⊕.⊗ B``.
+
+    ``C[i, k] = add.reduce_j( multiply(A[i, j], B[j, k]) )``
+
+    Parameters
+    ----------
+    a, b:
+        Conforming matrices (``a.ncols == b.nrows``).
+    semiring:
+        Semiring; the additive monoid combines duplicate contributions.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> p = Matrix.from_dense(np.array([[0.0, 1.0], [1.0, 0.0]]))
+    >>> mxm(p, p).to_dense().tolist()     # permutation squared = identity
+    [[1.0, 0.0], [0.0, 1.0]]
+
+    Notes
+    -----
+    Materialises one intermediate COO triple per multiplied pair before
+    reduction; fine for the benchmark-scale graphs this library targets
+    (the classic Gustavson row-merge would reduce peak memory, not
+    asymptotic work).
+    """
+    if a.ncols != b.nrows:
+        raise ValueError(
+            f"inner dimensions differ: a is {a.shape}, b is {b.shape}"
+        )
+    if a.nvals == 0 or b.nvals == 0:
+        return Matrix.empty(a.nrows, b.ncols)
+
+    # For each stored entry (i, j, x) of A, expand against row j of B.
+    a_rows = np.repeat(np.arange(a.nrows), a.row_degrees())
+    b_degrees = np.diff(b.row_ptr)
+    expand_counts = b_degrees[a.col_idx]
+
+    out_rows = np.repeat(a_rows, expand_counts)
+    out_a_vals = np.repeat(a.values, expand_counts)
+
+    # Gather the B entries for each expansion: offsets into B's arrays.
+    starts = b.row_ptr[a.col_idx]
+    total = int(expand_counts.sum())
+    if total == 0:
+        return Matrix.empty(a.nrows, b.ncols)
+    # Index vector: for entry e with count c_e, emit starts[e] .. +c_e.
+    entry_of = np.repeat(np.arange(len(starts)), expand_counts)
+    first_index = np.zeros(len(starts) + 1, dtype=np.int64)
+    np.cumsum(expand_counts, out=first_index[1:])
+    within = np.arange(total, dtype=np.int64) - first_index[entry_of]
+    b_indices = starts[entry_of] + within
+
+    out_cols = b.col_idx[b_indices]
+    contributions = semiring.multiply(out_a_vals, b.values[b_indices])
+    return Matrix.build(
+        out_rows, out_cols, contributions,
+        nrows=a.nrows, ncols=b.ncols, dup=semiring.add,
+    )
+
+
+def ewise_mult(a: Matrix, b: Matrix, op: Optional[Callable] = None) -> Matrix:
+    """Element-wise (Hadamard) product on the *intersection* of patterns.
+
+    Entries present in only one operand vanish (GraphBLAS eWiseMult
+    semantics).  ``op`` defaults to multiplication.
+    """
+    _check_same_shape(a, b)
+    op = op if op is not None else np.multiply
+    dense_keys_a, vals_a = _entry_keys(a)
+    dense_keys_b, vals_b = _entry_keys(b)
+    common, ia, ib = np.intersect1d(
+        dense_keys_a, dense_keys_b, assume_unique=True, return_indices=True
+    )
+    if len(common) == 0:
+        return Matrix.empty(a.nrows, a.ncols)
+    rows = (common // a.ncols).astype(np.int64)
+    cols = (common % a.ncols).astype(np.int64)
+    values = op(vals_a[ia], vals_b[ib])
+    return Matrix.build(rows, cols, values, nrows=a.nrows, ncols=a.ncols)
+
+
+def ewise_add(a: Matrix, b: Matrix, op: Optional[Callable] = None) -> Matrix:
+    """Element-wise combine on the *union* of patterns.
+
+    Entries present in one operand pass through unchanged; shared
+    entries are combined with ``op`` (default addition) — GraphBLAS
+    eWiseAdd semantics.
+    """
+    _check_same_shape(a, b)
+    if op is None or op is np.add:
+        rows_a, cols_a, vals_a = a.to_coo()
+        rows_b, cols_b, vals_b = b.to_coo()
+        return Matrix.build(
+            np.concatenate([rows_a, rows_b]),
+            np.concatenate([cols_a, cols_b]),
+            np.concatenate([vals_a, vals_b]),
+            nrows=a.nrows, ncols=a.ncols,
+        )
+    keys_a, vals_a = _entry_keys(a)
+    keys_b, vals_b = _entry_keys(b)
+    common, ia, ib = np.intersect1d(
+        keys_a, keys_b, assume_unique=True, return_indices=True
+    )
+    only_a = np.setdiff1d(np.arange(len(keys_a)), ia, assume_unique=True)
+    only_b = np.setdiff1d(np.arange(len(keys_b)), ib, assume_unique=True)
+    keys = np.concatenate([common, keys_a[only_a], keys_b[only_b]])
+    values = np.concatenate([
+        op(vals_a[ia], vals_b[ib]), vals_a[only_a], vals_b[only_b],
+    ])
+    rows = (keys // a.ncols).astype(np.int64)
+    cols = (keys % a.ncols).astype(np.int64)
+    return Matrix.build(rows, cols, values, nrows=a.nrows, ncols=a.ncols)
+
+
+def apply_mask(a: Matrix, mask: Matrix, *, complement: bool = False) -> Matrix:
+    """Keep only entries of ``a`` where ``mask`` has a stored entry.
+
+    With ``complement`` the kept set is inverted — entries of ``a``
+    *not* covered by the mask survive.  Mask values are ignored
+    (structural mask, the common GraphBLAS case).
+    """
+    _check_same_shape(a, mask)
+    keys_a, _ = _entry_keys(a)
+    keys_m, _ = _entry_keys(mask)
+    member = np.isin(keys_a, keys_m, assume_unique=True)
+    keep = ~member if complement else member
+    rows_a, cols_a, vals_a = a.to_coo()
+    return Matrix.build(
+        rows_a[keep], cols_a[keep], vals_a[keep],
+        nrows=a.nrows, ncols=a.ncols,
+    )
+
+
+def _entry_keys(m: Matrix):
+    """Linearised (row * ncols + col) keys of the stored entries.
+
+    CSR order makes the keys strictly increasing, hence unique/sorted.
+    """
+    rows, cols, vals = m.to_coo()
+    return rows * m.ncols + cols, vals
+
+
+def _check_same_shape(a: Matrix, b: Matrix) -> None:
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")

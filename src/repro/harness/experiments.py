@@ -1,0 +1,123 @@
+"""Experiment registry: paper artifact id -> reproduction runner.
+
+``run_experiment("fig7")`` executes everything needed to regenerate that
+artifact (sweeps included) and returns rendered text plus the raw data.
+The CLI and EXPERIMENTS.md are both generated through this registry so
+the "per-experiment index" in DESIGN.md always has a runnable target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.harness.figures import FIGURE_KERNELS, build_figure_series, render_figure
+from repro.harness.records import MeasurementRecord
+from repro.harness.sweep import SweepPlan, run_sweep
+from repro.harness.tables import render_run_sizes, render_sloc
+
+#: Scales used by default for figure sweeps — small enough for a laptop,
+#: large enough to show the curves' shape (the paper used 16–22 on a
+#: server; scale via --scales for bigger machines).
+DEFAULT_FIGURE_SCALES = [10, 12, 14]
+DEFAULT_FIGURE_BACKENDS = ["python", "numpy", "scipy", "dataframe", "graphblas"]
+
+
+@dataclass
+class ExperimentOutput:
+    """Result of running one registered experiment.
+
+    Attributes
+    ----------
+    experiment_id:
+        Registry key (``table1`` … ``fig7``).
+    text:
+        Rendered, printable artifact.
+    records:
+        Raw measurement records (empty for static tables).
+    """
+
+    experiment_id: str
+    text: str
+    records: List[MeasurementRecord] = field(default_factory=list)
+
+
+def _run_table1(scales: Optional[List[int]], backends: Optional[List[str]],
+                repeats: int) -> ExperimentOutput:
+    del scales, repeats
+    return ExperimentOutput("table1", render_sloc(backends))
+
+
+def _run_table2(scales: Optional[List[int]], backends: Optional[List[str]],
+                repeats: int) -> ExperimentOutput:
+    del backends, repeats
+    return ExperimentOutput("table2", render_run_sizes(scales))
+
+
+def _figure_runner(figure_id: str) -> Callable[..., ExperimentOutput]:
+    def run(scales: Optional[List[int]], backends: Optional[List[str]],
+            repeats: int) -> ExperimentOutput:
+        plan = SweepPlan(
+            scales=scales or DEFAULT_FIGURE_SCALES,
+            backends=backends or DEFAULT_FIGURE_BACKENDS,
+            repeats=repeats,
+        )
+        records = run_sweep(plan)
+        figure = build_figure_series(figure_id, records)
+        return ExperimentOutput(figure_id, render_figure(figure), records)
+
+    return run
+
+
+_REGISTRY: Dict[str, Callable[..., ExperimentOutput]] = {
+    "table1": _run_table1,
+    "table2": _run_table2,
+    **{figure_id: _figure_runner(figure_id) for figure_id in FIGURE_KERNELS},
+}
+
+_DESCRIPTIONS = {
+    "table1": "source lines of code per backend (paper Table I)",
+    "table2": "benchmark run sizes for scales 16-22 (paper Table II)",
+    "fig4": "Kernel 0 edges/s vs M per backend (paper Figure 4)",
+    "fig5": "Kernel 1 edges/s vs M per backend (paper Figure 5)",
+    "fig6": "Kernel 2 edges/s vs M per backend (paper Figure 6)",
+    "fig7": "Kernel 3 edges/s vs M per backend (paper Figure 7)",
+}
+
+
+def available_experiments() -> Dict[str, str]:
+    """Mapping experiment id -> description."""
+    return dict(_DESCRIPTIONS)
+
+
+def run_experiment(
+    experiment_id: str,
+    *,
+    scales: Optional[List[int]] = None,
+    backends: Optional[List[str]] = None,
+    repeats: int = 1,
+) -> ExperimentOutput:
+    """Run one registered experiment.
+
+    Parameters
+    ----------
+    experiment_id:
+        ``table1``, ``table2``, or ``fig4`` … ``fig7``.
+    scales / backends:
+        Override the default sweep grid (figures) or table rows.
+    repeats:
+        Repetitions per sweep cell (fastest kept).
+
+    Raises
+    ------
+    KeyError
+        For unknown experiment ids.
+    """
+    try:
+        runner = _REGISTRY[experiment_id]
+    except KeyError:
+        valid = ", ".join(sorted(_REGISTRY))
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: {valid}"
+        ) from None
+    return runner(scales, backends, repeats)

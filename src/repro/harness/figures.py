@@ -1,0 +1,150 @@
+"""Figure series and ASCII rendering (the paper's Figures 4–7).
+
+Each figure plots *edges per second* against *number of edges* on
+log-log axes, one series per implementation.  ``build_figure_series``
+reshapes sweep records into that form; ``render_figure`` draws an ASCII
+log-log chart plus the underlying numbers (the numbers are the real
+deliverable — the chart is for quick reading in a terminal).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.config import KernelName
+from repro.harness.records import MeasurementRecord
+
+#: Paper figure id -> kernel measured in it.
+FIGURE_KERNELS = {
+    "fig4": KernelName.K0_GENERATE,
+    "fig5": KernelName.K1_SORT,
+    "fig6": KernelName.K2_FILTER,
+    "fig7": KernelName.K3_PAGERANK,
+}
+
+
+@dataclass
+class FigureSeries:
+    """One figure's data: per-backend (num_edges, edges_per_second) points.
+
+    Attributes
+    ----------
+    figure_id:
+        ``fig4`` … ``fig7``.
+    kernel:
+        The kernel the figure measures.
+    series:
+        Mapping backend -> list of (M, edges/s) points, ascending in M.
+    """
+
+    figure_id: str
+    kernel: KernelName
+    series: Dict[str, List[Tuple[int, float]]] = field(default_factory=dict)
+
+    def backends(self) -> List[str]:
+        """Series names in insertion order."""
+        return list(self.series)
+
+
+def build_figure_series(
+    figure_id: str, records: Sequence[MeasurementRecord]
+) -> FigureSeries:
+    """Reshape sweep records into one paper figure's series.
+
+    Raises
+    ------
+    KeyError
+        For unknown figure ids.
+    """
+    try:
+        kernel = FIGURE_KERNELS[figure_id]
+    except KeyError:
+        valid = ", ".join(sorted(FIGURE_KERNELS))
+        raise KeyError(f"unknown figure {figure_id!r}; available: {valid}") from None
+    figure = FigureSeries(figure_id=figure_id, kernel=kernel)
+    for record in records:
+        if record.kernel != kernel.value:
+            continue
+        figure.series.setdefault(record.backend, []).append(
+            (record.num_edges, record.edges_per_second)
+        )
+    for points in figure.series.values():
+        points.sort(key=lambda p: p[0])
+    return figure
+
+
+_MARKERS = "ox+*#@%&"
+
+
+def render_figure(
+    figure: FigureSeries,
+    *,
+    width: int = 64,
+    height: int = 18,
+) -> str:
+    """ASCII log-log chart plus the data table for one figure.
+
+    Each backend gets a marker; points landing on the same cell show the
+    later backend's marker.  Below the chart the exact numbers are
+    tabulated (the chart is a sanity view, the table is the record).
+    """
+    lines: List[str] = []
+    title = {
+        "fig4": "Figure 4 — Kernel 0 (generate+write) edges/s vs M",
+        "fig5": "Figure 5 — Kernel 1 (sort) edges/s vs M",
+        "fig6": "Figure 6 — Kernel 2 (filter) edges/s vs M",
+        "fig7": "Figure 7 — Kernel 3 (PageRank) edges/s vs M",
+    }.get(figure.figure_id, figure.figure_id)
+    lines.append(title)
+
+    all_points = [p for pts in figure.series.values() for p in pts]
+    if not all_points:
+        lines.append("(no data)")
+        return "\n".join(lines)
+
+    xs = [p[0] for p in all_points]
+    ys = [p[1] for p in all_points if p[1] > 0 and math.isfinite(p[1])]
+    if not ys:
+        lines.append("(all throughputs zero/non-finite)")
+        return "\n".join(lines)
+    lx0, lx1 = math.log10(min(xs)), math.log10(max(xs))
+    ly0, ly1 = math.log10(min(ys)), math.log10(max(ys))
+    lx1 = lx1 if lx1 > lx0 else lx0 + 1.0
+    ly1 = ly1 if ly1 > ly0 else ly0 + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (backend, points) in enumerate(figure.series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for m, eps in points:
+            if eps <= 0 or not math.isfinite(eps):
+                continue
+            col = int((math.log10(m) - lx0) / (lx1 - lx0) * (width - 1))
+            row = int((math.log10(eps) - ly0) / (ly1 - ly0) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines.append(f"  edges/s (log) range [1e{ly0:.1f}, 1e{ly1:.1f}]")
+    for row in grid:
+        lines.append("  |" + "".join(row))
+    lines.append("  +" + "-" * width)
+    lines.append(f"   edges M (log) range [1e{lx0:.1f}, 1e{lx1:.1f}]")
+    legend = "   legend: " + "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}"
+        for i, name in enumerate(figure.series)
+    )
+    lines.append(legend)
+
+    lines.append("")
+    header = ["backend"] + [
+        f"M={m}" for m in sorted({p[0] for p in all_points})
+    ]
+    lines.append(" | ".join(header))
+    for backend, points in figure.series.items():
+        by_m = dict(points)
+        cells = [backend] + [
+            f"{by_m[m]:.3g}" if m in by_m else "-"
+            for m in sorted({p[0] for p in all_points})
+        ]
+        lines.append(" | ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,222 @@
+"""Scaling studies: throughput trends over problem size and rank count.
+
+Two analyses the paper's framing invites but does not carry out:
+
+* :func:`size_scaling` — edges/second as a function of scale for one
+  backend/kernel, with a log-log slope fit.  A slope of ~0 means the
+  kernel's throughput is scale-invariant (the flat curves of Figures
+  4-7); negative slopes expose cache or algorithmic drop-off.
+* :func:`strong_scaling` — distributed K2+K3 speedup/efficiency over
+  rank counts at fixed problem size, with measured communication bytes
+  per rank structure — quantifying the paper's Section IV.D argument
+  about Kernel 3's network term.
+
+Both are pure measurement drivers returning dataclasses; rendering
+helpers turn them into monospace tables for the CLI/reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro._util import check_positive_int
+from repro.core.config import KernelName, PipelineConfig
+from repro.core.pipeline import run_pipeline
+from repro.generators.kronecker import kronecker_edges
+from repro.parallel.driver import run_parallel_pipeline
+
+
+@dataclass(frozen=True)
+class SizeScalingPoint:
+    """One (scale, throughput) sample."""
+
+    scale: int
+    num_edges: int
+    seconds: float
+    edges_per_second: float
+
+
+@dataclass
+class SizeScalingStudy:
+    """Throughput-vs-size series for one backend and kernel.
+
+    Attributes
+    ----------
+    backend / kernel:
+        What was measured.
+    points:
+        Ascending-scale samples.
+    slope:
+        Fitted d(log10 eps) / d(log10 M); ~0 for the flat curves the
+        paper's figures show.
+    """
+
+    backend: str
+    kernel: KernelName
+    points: List[SizeScalingPoint] = field(default_factory=list)
+    slope: float = 0.0
+
+
+def size_scaling(
+    scales: Sequence[int],
+    *,
+    backend: str = "scipy",
+    kernel: KernelName = KernelName.K3_PAGERANK,
+    seed: int = 1,
+    edge_factor: int = 16,
+) -> SizeScalingStudy:
+    """Measure one kernel's throughput across problem sizes.
+
+    Runs the full pipeline at each scale (kernels upstream of the
+    measured one are needed to produce its input) and fits a log-log
+    slope through the throughput samples.
+
+    Examples
+    --------
+    >>> study = size_scaling([6, 7], backend="numpy", seed=3)
+    >>> len(study.points)
+    2
+    """
+    if not scales:
+        raise ValueError("size_scaling requires at least one scale")
+    study = SizeScalingStudy(backend=backend, kernel=kernel)
+    for scale in sorted(scales):
+        result = run_pipeline(
+            PipelineConfig(scale=scale, seed=seed, backend=backend,
+                           edge_factor=edge_factor),
+            verify=False,
+        )
+        kernel_result = result.kernel(kernel)
+        study.points.append(
+            SizeScalingPoint(
+                scale=scale,
+                num_edges=result.config.num_edges,
+                seconds=kernel_result.seconds,
+                edges_per_second=kernel_result.edges_per_second,
+            )
+        )
+    if len(study.points) >= 2:
+        xs = np.log10([p.num_edges for p in study.points])
+        ys = np.log10([max(p.edges_per_second, 1e-12) for p in study.points])
+        study.slope = float(np.polyfit(xs, ys, 1)[0])
+    return study
+
+
+@dataclass(frozen=True)
+class StrongScalingPoint:
+    """One rank-count sample of the distributed K2+K3."""
+
+    ranks: int
+    seconds: float
+    speedup: float
+    efficiency: float
+    allreduce_bytes: int
+
+
+@dataclass
+class StrongScalingStudy:
+    """Fixed-size speedup over rank counts (simulated executor).
+
+    Notes
+    -----
+    The simulated communicator runs ranks as threads under the GIL, so
+    *wall-clock speedup is not expected*; the study's value is the
+    measured communication growth and the per-rank load balance, which
+    are executor-independent.  ``seconds`` is still reported for
+    completeness.
+    """
+
+    scale: int
+    iterations: int
+    points: List[StrongScalingPoint] = field(default_factory=list)
+    local_nnz: Dict[int, List[int]] = field(default_factory=dict)
+
+
+def strong_scaling(
+    rank_counts: Sequence[int],
+    *,
+    scale: int = 12,
+    edge_factor: int = 16,
+    iterations: int = 20,
+    seed: int = 1,
+) -> StrongScalingStudy:
+    """Measure the distributed K2+K3 across group sizes.
+
+    Parameters
+    ----------
+    rank_counts:
+        Group sizes to test (1 is used as the speedup baseline and is
+        added automatically when missing).
+    scale / edge_factor / iterations / seed:
+        Problem definition.
+    """
+    check_positive_int("scale", scale)
+    counts = sorted(set(rank_counts) | {1})
+    num_vertices = 1 << scale
+    u, v = kronecker_edges(scale, edge_factor, seed=seed)
+    initial = np.full(num_vertices, 1.0 / num_vertices)
+
+    study = StrongScalingStudy(scale=scale, iterations=iterations)
+    baseline_seconds: Optional[float] = None
+    for ranks in counts:
+        start = time.perf_counter()
+        result = run_parallel_pipeline(
+            u, v, num_vertices, num_ranks=ranks, iterations=iterations,
+            initial_rank=initial,
+        )
+        elapsed = time.perf_counter() - start
+        if baseline_seconds is None:
+            baseline_seconds = elapsed
+        speedup = baseline_seconds / elapsed if elapsed > 0 else float("inf")
+        study.points.append(
+            StrongScalingPoint(
+                ranks=ranks,
+                seconds=elapsed,
+                speedup=speedup,
+                efficiency=speedup / ranks,
+                allreduce_bytes=int(
+                    result.traffic.get("bytes_by_op", {}).get("allreduce", 0)
+                ),
+            )
+        )
+        study.local_nnz[ranks] = result.local_nnz
+    return study
+
+
+def render_size_scaling(study: SizeScalingStudy) -> str:
+    """Monospace table of a size-scaling study."""
+    from repro.harness.tables import render_table
+
+    rows = [
+        [p.scale, f"{p.num_edges:,}", f"{p.seconds:.4f}",
+         f"{p.edges_per_second:,.0f}"]
+        for p in study.points
+    ]
+    table = render_table(
+        ["scale", "edges", "seconds", "edges/s"],
+        rows,
+        title=(f"{study.kernel.value} throughput vs size "
+               f"({study.backend} backend)"),
+    )
+    return table + f"\nlog-log slope: {study.slope:+.3f}"
+
+
+def render_strong_scaling(study: StrongScalingStudy) -> str:
+    """Monospace table of a strong-scaling study."""
+    from repro.harness.tables import render_table
+
+    rows = [
+        [p.ranks, f"{p.seconds:.3f}", f"{p.speedup:.2f}",
+         f"{p.efficiency:.2f}", f"{p.allreduce_bytes:,}"]
+        for p in study.points
+    ]
+    return render_table(
+        ["ranks", "seconds", "speedup", "efficiency", "allreduce bytes"],
+        rows,
+        title=(f"strong scaling at scale {study.scale} "
+               f"({study.iterations} iterations, simulated ranks)"),
+    )

@@ -1,0 +1,116 @@
+"""Sweep runner: execute the pipeline over a (backend x scale) grid.
+
+This is the engine behind Figures 4–7: run every configured backend at
+every scale, collect per-kernel measurements, optionally repeat and keep
+the best (the usual benchmarking discipline for wall-clock metrics).
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import run_pipeline
+from repro.harness.records import MeasurementRecord
+
+logger = logging.getLogger("repro.harness")
+
+
+@dataclass
+class SweepPlan:
+    """Declarative description of a measurement sweep.
+
+    Attributes
+    ----------
+    scales:
+        Graph500 scales to run.
+    backends:
+        Backend names to run at each scale.
+    edge_factor:
+        Edges per vertex (paper: 16).
+    seed:
+        Root seed shared by all runs (same graph per scale across
+        backends, modulo the pure-python generator's own stream).
+    repeats:
+        Runs per cell; the *fastest* time per kernel is kept.
+    config_overrides:
+        Extra :class:`PipelineConfig` fields applied to every run
+        (e.g. ``{"num_files": 4}``).
+    """
+
+    scales: List[int]
+    backends: List[str]
+    edge_factor: int = 16
+    seed: int = 1
+    repeats: int = 1
+    config_overrides: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.scales:
+            raise ValueError("SweepPlan needs at least one scale")
+        if not self.backends:
+            raise ValueError("SweepPlan needs at least one backend")
+        if self.repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {self.repeats}")
+
+    def configs(self) -> List[PipelineConfig]:
+        """All cell configs, backend-major then scale order."""
+        out = []
+        for backend in self.backends:
+            for scale in self.scales:
+                out.append(
+                    PipelineConfig(
+                        scale=scale,
+                        edge_factor=self.edge_factor,
+                        seed=self.seed,
+                        backend=backend,
+                        **self.config_overrides,  # type: ignore[arg-type]
+                    )
+                )
+        return out
+
+
+def run_sweep(
+    plan: SweepPlan,
+    *,
+    verify: bool = False,
+    progress: Optional[callable] = None,
+) -> List[MeasurementRecord]:
+    """Execute a sweep and return the per-kernel records.
+
+    Parameters
+    ----------
+    plan:
+        What to run.
+    verify:
+        Forward the pipeline's contract checks (off by default inside
+        measurement loops — the checks re-read files and would perturb
+        I/O caching between kernels).
+    progress:
+        Optional callback ``fn(config, repeat_index)`` invoked before
+        each run (the CLI uses it for status lines).
+
+    Notes
+    -----
+    With ``repeats > 1`` the record kept for each kernel is the one
+    with the smallest measured time across repeats.
+    """
+    records: List[MeasurementRecord] = []
+    for config in plan.configs():
+        best: Dict[str, MeasurementRecord] = {}
+        for repeat in range(plan.repeats):
+            if progress is not None:
+                progress(config, repeat)
+            logger.info(
+                "running backend=%s scale=%d repeat=%d",
+                config.backend, config.scale, repeat,
+            )
+            result = run_pipeline(config, verify=verify)
+            for record in MeasurementRecord.from_result(result):
+                current = best.get(record.kernel)
+                if current is None or record.seconds < current.seconds:
+                    best[record.kernel] = record
+        records.extend(best[k] for k in sorted(best))
+    return records

@@ -1,0 +1,125 @@
+"""Gauss-Seidel PageRank: an alternative solver for the fixed point.
+
+Power iteration (the benchmark kernel) applies the whole update from
+the previous iterate; Gauss-Seidel sweeps vertices in order and uses
+*already-updated* values within the sweep, typically converging in
+roughly half the iterations.  Included as the kind of
+algorithm/software co-design the paper's "goal-oriented" benchmark
+category invites: same input, same fixed point, different solver.
+
+Solves ``r = c·(r @ A) + (1-c)/N · sum(r)`` in the strongly
+preferential formulation (dangling mass redistributed uniformly), i.e.
+the fixed point of the stochastic-completion matrix — directly
+comparable to :func:`repro.pagerank.variants.pagerank_strongly_preferential`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro._util import check_in_range, check_positive_int
+from repro.pagerank.variants import PageRankResult
+
+
+def pagerank_gauss_seidel(
+    adjacency: sp.spmatrix,
+    *,
+    damping: float = 0.85,
+    tol: float = 1e-10,
+    max_iterations: int = 200,
+    initial_rank: Optional[np.ndarray] = None,
+) -> PageRankResult:
+    """Gauss-Seidel sweeps for the strongly preferential PageRank.
+
+    Parameters
+    ----------
+    adjacency:
+        Row-normalised matrix from Kernel 2 (dangling rows all-zero).
+    damping, tol, max_iterations, initial_rank:
+        As in the other variants.
+
+    Returns
+    -------
+    PageRankResult
+        With ``rank`` summing to 1 and typically fewer iterations than
+        the power method at the same tolerance.
+
+    Notes
+    -----
+    Works column-wise on ``A^T`` in CSC layout: updating ``r[j]`` needs
+    column ``j`` of ``A`` (the in-edges of ``j``).  The sweep is a
+    Python loop over vertices, so this solver targets validation and
+    iteration-count studies, not raw throughput.
+
+    Examples
+    --------
+    >>> import numpy as np, scipy.sparse as sp
+    >>> ring = sp.csr_matrix(np.array([[0., 1.], [1., 0.]]))
+    >>> result = pagerank_gauss_seidel(ring)
+    >>> bool(result.converged), round(float(result.rank.sum()), 9)
+    (True, 1.0)
+    """
+    check_in_range("damping", damping, 0.0, 1.0)
+    check_positive_int("max_iterations", max_iterations)
+    n = adjacency.shape[0]
+    if adjacency.shape[0] != adjacency.shape[1]:
+        raise ValueError(f"adjacency must be square, got {adjacency.shape}")
+
+    csc = adjacency.tocsc()
+    indptr = csc.indptr
+    indices = csc.indices
+    data = csc.data
+    dangling = np.asarray(adjacency.sum(axis=1)).ravel() == 0.0
+    c = damping
+
+    if initial_rank is None:
+        r = np.full(n, 1.0 / n)
+    else:
+        r = np.asarray(initial_rank, dtype=np.float64)
+        norm = np.abs(r).sum()
+        if norm == 0:
+            raise ValueError("initial_rank must not be all-zero")
+        r = r / norm
+
+    residual = np.inf
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        previous = r.copy()
+        # Scalars that change as the sweep proceeds: total mass and
+        # dangling mass.  Both are maintained incrementally.
+        total = r.sum()
+        dangling_mass = r[dangling].sum()
+        for j in range(n):
+            lo, hi = indptr[j], indptr[j + 1]
+            cols = indices[lo:hi]
+            vals = data[lo:hi]
+            in_flow = float(vals @ r[cols])  # includes any self-loop term
+            diagonal = float(vals[cols == j].sum())
+            old = r[j]
+            # The fixed-point equation for component j, with r[j]'s own
+            # contributions (self-loop, dangling share, teleport share)
+            # collected into self_coeff so it can be solved exactly:
+            #   r_j = self_coeff * r_j + rest
+            self_coeff = c * diagonal + (1.0 - c) / n
+            if dangling[j]:
+                self_coeff += c / n
+            rhs = (
+                c * in_flow
+                + c * dangling_mass / n
+                + (1.0 - c) * total / n
+            )
+            rest = rhs - self_coeff * old
+            new = rest / (1.0 - self_coeff) if self_coeff < 1.0 else rest
+            r[j] = new
+            total += new - old
+            if dangling[j]:
+                dangling_mass += new - old
+        # Normalise to kill accumulated drift, then test convergence.
+        r = r / r.sum()
+        residual = float(np.abs(r - previous).sum())
+        if residual <= tol:
+            return PageRankResult(r, iterations, residual, True)
+    return PageRankResult(r, iterations, residual, False)

@@ -1,0 +1,255 @@
+"""PageRank variants beyond the benchmark kernel.
+
+The paper's appendix notes that "a variety of specific algorithms have
+been developed … with names such as strongly preferential PageRank,
+weakly preferential PageRank, and sink PageRank" (Gleich 2015), and
+Section IV.D explains the benchmark deliberately omits the dangling-node
+correction.  These variants supply that correction for users who want a
+*true* PageRank from the pipeline's Kernel 2 output:
+
+* **strongly preferential** — dangling mass re-enters through the
+  teleport distribution;
+* **weakly preferential** — dangling mass follows its own distribution,
+  independent of the teleport vector;
+* **sink** — no correction (the benchmark's behaviour), provided with
+  the same interface for comparison.
+
+All variants support personalised teleport vectors and convergence
+testing on the 1-norm residual.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro._util import check_in_range, check_positive_int
+
+
+@dataclass(frozen=True)
+class PageRankResult:
+    """Converged (or iteration-capped) PageRank output.
+
+    Attributes
+    ----------
+    rank:
+        Final rank vector.
+    iterations:
+        Update steps actually performed.
+    residual:
+        Final 1-norm difference between successive iterates.
+    converged:
+        Whether ``residual <= tol`` was reached within the cap.
+    """
+
+    rank: np.ndarray
+    iterations: int
+    residual: float
+    converged: bool
+
+
+def _prepare(
+    adjacency: sp.spmatrix,
+    teleport: Optional[np.ndarray],
+    initial_rank: Optional[np.ndarray],
+):
+    n = adjacency.shape[0]
+    if adjacency.shape[0] != adjacency.shape[1]:
+        raise ValueError(f"adjacency must be square, got {adjacency.shape}")
+    if teleport is None:
+        teleport_vec = np.full(n, 1.0 / n)
+    else:
+        teleport_vec = np.asarray(teleport, dtype=np.float64)
+        if teleport_vec.shape != (n,):
+            raise ValueError(f"teleport shape {teleport_vec.shape} != ({n},)")
+        if (teleport_vec < 0).any():
+            raise ValueError("teleport vector must be non-negative")
+        total = teleport_vec.sum()
+        if total <= 0:
+            raise ValueError("teleport vector must have positive mass")
+        teleport_vec = teleport_vec / total
+    if initial_rank is None:
+        r = np.full(n, 1.0 / n)
+    else:
+        r = np.asarray(initial_rank, dtype=np.float64)
+        if r.shape != (n,):
+            raise ValueError(f"initial_rank shape {r.shape} != ({n},)")
+        norm = np.abs(r).sum()
+        if norm == 0:
+            raise ValueError("initial_rank must not be all-zero")
+        r = r / norm
+    at = adjacency.T.tocsr()
+    dangling = np.asarray(adjacency.sum(axis=1)).ravel() == 0.0
+    return n, at, teleport_vec, r, dangling
+
+
+def _iterate(
+    at: sp.csr_matrix,
+    r: np.ndarray,
+    damping: float,
+    teleport_vec: np.ndarray,
+    dangling: np.ndarray,
+    dangling_vec: Optional[np.ndarray],
+    *,
+    tol: float,
+    max_iterations: int,
+) -> PageRankResult:
+    """Shared damped-iteration loop with optional dangling redistribution."""
+    c = damping
+    residual = np.inf
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        spread = at @ r
+        if dangling_vec is not None:
+            dangling_mass = r[dangling].sum()
+            spread = spread + dangling_mass * dangling_vec
+        nxt = c * spread + (1.0 - c) * r.sum() * teleport_vec
+        residual = float(np.abs(nxt - r).sum())
+        r = nxt
+        if residual <= tol:
+            return PageRankResult(r, iterations, residual, True)
+    return PageRankResult(r, iterations, residual, False)
+
+
+def pagerank_strongly_preferential(
+    adjacency: sp.spmatrix,
+    *,
+    damping: float = 0.85,
+    teleport: Optional[np.ndarray] = None,
+    initial_rank: Optional[np.ndarray] = None,
+    tol: float = 1e-10,
+    max_iterations: int = 1000,
+) -> PageRankResult:
+    """PageRank with dangling mass following the teleport vector.
+
+    This is the standard "PageRank" of most references: the transition
+    matrix is made fully stochastic by giving dangling rows the teleport
+    distribution, so rank mass is conserved every iteration.
+
+    Examples
+    --------
+    >>> import numpy as np, scipy.sparse as sp
+    >>> a = sp.csr_matrix(np.array([[0.0, 1.0], [0.0, 0.0]]))  # 1 dangles
+    >>> res = pagerank_strongly_preferential(a)
+    >>> bool(res.converged and abs(res.rank.sum() - 1.0) < 1e-9)
+    True
+    """
+    check_in_range("damping", damping, 0.0, 1.0)
+    check_positive_int("max_iterations", max_iterations)
+    n, at, tele, r, dangling = _prepare(adjacency, teleport, initial_rank)
+    return _iterate(
+        at, r, damping, tele, dangling, tele, tol=tol, max_iterations=max_iterations
+    )
+
+
+def pagerank_weakly_preferential(
+    adjacency: sp.spmatrix,
+    *,
+    damping: float = 0.85,
+    teleport: Optional[np.ndarray] = None,
+    dangling_distribution: Optional[np.ndarray] = None,
+    initial_rank: Optional[np.ndarray] = None,
+    tol: float = 1e-10,
+    max_iterations: int = 1000,
+) -> PageRankResult:
+    """PageRank with dangling mass following its own distribution.
+
+    ``dangling_distribution`` defaults to uniform; it is normalised to
+    unit mass.  Setting it equal to the teleport vector recovers the
+    strongly preferential variant.
+    """
+    check_in_range("damping", damping, 0.0, 1.0)
+    check_positive_int("max_iterations", max_iterations)
+    n, at, tele, r, dangling = _prepare(adjacency, teleport, initial_rank)
+    if dangling_distribution is None:
+        dvec = np.full(n, 1.0 / n)
+    else:
+        dvec = np.asarray(dangling_distribution, dtype=np.float64)
+        if dvec.shape != (n,):
+            raise ValueError(
+                f"dangling_distribution shape {dvec.shape} != ({n},)"
+            )
+        total = dvec.sum()
+        if total <= 0:
+            raise ValueError("dangling_distribution must have positive mass")
+        dvec = dvec / total
+    return _iterate(
+        at, r, damping, tele, dangling, dvec, tol=tol, max_iterations=max_iterations
+    )
+
+
+def pagerank_sink(
+    adjacency: sp.spmatrix,
+    *,
+    damping: float = 0.85,
+    teleport: Optional[np.ndarray] = None,
+    initial_rank: Optional[np.ndarray] = None,
+    tol: float = 1e-10,
+    max_iterations: int = 1000,
+    renormalize: bool = False,
+) -> PageRankResult:
+    """Sink PageRank: dangling mass is simply lost each iteration.
+
+    This matches the benchmark kernel's behaviour (run to convergence
+    instead of 20 fixed iterations).  With ``renormalize`` the final
+    vector is rescaled to unit 1-norm, which is how sink PageRank is
+    usually reported.
+    """
+    check_in_range("damping", damping, 0.0, 1.0)
+    check_positive_int("max_iterations", max_iterations)
+    n, at, tele, r, dangling = _prepare(adjacency, teleport, initial_rank)
+    result = _iterate(
+        at, r, damping, tele, dangling, None, tol=tol, max_iterations=max_iterations
+    )
+    if renormalize:
+        norm = np.abs(result.rank).sum()
+        if norm > 0:
+            result = PageRankResult(
+                result.rank / norm, result.iterations, result.residual,
+                result.converged,
+            )
+    return result
+
+
+def pagerank_converged(
+    adjacency: sp.spmatrix,
+    *,
+    damping: float = 0.85,
+    tol: float = 1e-10,
+    max_iterations: int = 1000,
+    initial_rank: Optional[np.ndarray] = None,
+    variant: str = "strongly-preferential",
+) -> PageRankResult:
+    """Convergence-tested PageRank with a selectable variant.
+
+    The "real application" mode the paper contrasts with the fixed
+    20-iteration benchmark kernel: iterate until the 1-norm residual
+    drops below ``tol``.
+
+    Parameters
+    ----------
+    variant:
+        ``"strongly-preferential"``, ``"weakly-preferential"``, or
+        ``"sink"``.
+    """
+    dispatch = {
+        "strongly-preferential": pagerank_strongly_preferential,
+        "weakly-preferential": pagerank_weakly_preferential,
+        "sink": pagerank_sink,
+    }
+    try:
+        fn = dispatch[variant]
+    except KeyError:
+        raise ValueError(
+            f"unknown variant {variant!r}; expected one of {sorted(dispatch)}"
+        ) from None
+    return fn(
+        adjacency,
+        damping=damping,
+        tol=tol,
+        max_iterations=max_iterations,
+        initial_rank=initial_rank,
+    )

@@ -1,0 +1,58 @@
+"""Parallel pipeline substrate.
+
+The paper describes (Sections IV.C/D) how a parallel implementation
+would decompose the pipeline: each processor holds a block of matrix
+*rows* (matching the Kernel 1 sort order), Kernel 2 aggregates in-degree
+across processors and broadcasts the eliminated vertices, and Kernel 3
+sums per-processor partial rank vectors every iteration — predicting
+that Kernel 3 is network-communication dominated.
+
+This package reproduces that design without requiring MPI:
+
+* :class:`Communicator` — the abstract message-passing interface
+  (send/recv, bcast, allreduce, allgather, alltoall) with byte-accurate
+  traffic accounting;
+* :class:`SimCommunicator` — threads in one process, deterministic,
+  used for tests and for *measuring* communication volumes;
+* :class:`MpCommunicator` — the same rank programs under
+  ``multiprocessing`` for true-parallel integration tests;
+* :mod:`repro.parallel.kernels` — row-block parallel Kernel 2/3 whose
+  results are bit-compatible with the serial backends;
+* :func:`run_parallel_pipeline` — end-to-end parallel K2+K3 driver.
+"""
+
+from __future__ import annotations
+
+from repro.parallel.comm import Communicator
+from repro.parallel.traffic import TrafficLog, TrafficRecord
+from repro.parallel.sim import SimCommunicator, run_rank_programs
+from repro.parallel.mp import run_rank_programs_mp
+from repro.parallel.partition import RowPartition
+from repro.parallel.kernels import (
+    exchange_edges_by_owner,
+    parallel_kernel0,
+    parallel_kernel1,
+    parallel_kernel2,
+    parallel_kernel3,
+)
+from repro.parallel.driver import ParallelRunResult, run_parallel_pipeline
+
+__all__ = [
+    "Communicator",
+    "MpCommunicator",
+    "ParallelRunResult",
+    "RowPartition",
+    "SimCommunicator",
+    "TrafficLog",
+    "TrafficRecord",
+    "exchange_edges_by_owner",
+    "parallel_kernel0",
+    "parallel_kernel1",
+    "parallel_kernel2",
+    "parallel_kernel3",
+    "run_parallel_pipeline",
+    "run_rank_programs",
+    "run_rank_programs_mp",
+]
+
+from repro.parallel.mp import MpCommunicator  # noqa: E402  (circular-safe)

@@ -1,0 +1,133 @@
+"""Abstract message-passing communicator.
+
+Deliberately shaped like the mpi4py lower-case object API (the standard
+Python HPC idiom) so the rank programs in :mod:`repro.parallel.kernels`
+read like MPI code and could be ported to real MPI directly.  Payloads
+are numpy arrays or picklable scalars; reductions operate elementwise.
+
+Traffic model: each operation logs bytes under the *naive* algorithm
+(star reduce + star broadcast for collectives), matching the "simple
+models of the hardware" the paper uses for performance prediction.
+Vendors' tree/ring algorithms move fewer bytes; the model is an upper
+bound with the right asymptotics.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, List, Optional
+
+import numpy as np
+
+from repro.parallel.traffic import TrafficLog
+
+#: Reduction operators accepted by :meth:`Communicator.allreduce`.
+REDUCE_OPS = {
+    "sum": np.add,
+    "max": np.maximum,
+    "min": np.minimum,
+}
+
+
+def payload_nbytes(value: Any) -> int:
+    """Approximate wire size of a payload in bytes."""
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, (bool, np.bool_)):
+        return 1
+    if isinstance(value, (int, np.integer, float, np.floating)):
+        return 8
+    if isinstance(value, (bytes, bytearray)):
+        return len(value)
+    if isinstance(value, str):
+        return len(value.encode("utf-8"))
+    if isinstance(value, (list, tuple)):
+        return sum(payload_nbytes(v) for v in value)
+    return 64  # conservative default for other picklables
+
+
+class Communicator(abc.ABC):
+    """Rank-local handle to a communication group of ``size`` ranks."""
+
+    def __init__(self, rank: int, size: int, traffic: Optional[TrafficLog]) -> None:
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        if not 0 <= rank < size:
+            raise ValueError(f"rank {rank} outside [0, {size})")
+        self.rank = rank
+        self.size = size
+        self.traffic = traffic if traffic is not None else TrafficLog()
+
+    # ------------------------------------------------------------------
+    # Point-to-point
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def send(self, dest: int, payload: Any) -> None:
+        """Send a payload to ``dest`` (non-blocking buffered semantics)."""
+
+    @abc.abstractmethod
+    def recv(self, source: int) -> Any:
+        """Receive the next payload from ``source`` (blocking)."""
+
+    # ------------------------------------------------------------------
+    # Collectives (must be called by every rank of the group)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def barrier(self) -> None:
+        """Block until every rank reaches the barrier."""
+
+    @abc.abstractmethod
+    def bcast(self, payload: Any, root: int = 0) -> Any:
+        """Broadcast ``payload`` from ``root`` to every rank."""
+
+    @abc.abstractmethod
+    def allreduce(self, value: Any, op: str = "sum") -> Any:
+        """Elementwise reduction of every rank's value, result everywhere."""
+
+    @abc.abstractmethod
+    def allgather(self, value: Any) -> List[Any]:
+        """Gather every rank's value, returned as a rank-ordered list."""
+
+    @abc.abstractmethod
+    def alltoall(self, payloads: List[Any]) -> List[Any]:
+        """Personalised exchange: ``payloads[d]`` goes to rank ``d``;
+        returns the list of payloads received, indexed by source."""
+
+    # ------------------------------------------------------------------
+    # Shared traffic-accounting helpers
+    # ------------------------------------------------------------------
+    def _log_collective(self, op: str, nbytes: int, messages: int) -> None:
+        """Log a collective once (rank 0 logs on behalf of the group)."""
+        if self.rank == 0:
+            self.traffic.record(op, nbytes, messages, rank=0)
+
+    def _account_bcast(self, payload: Any) -> None:
+        n = payload_nbytes(payload)
+        self._log_collective("bcast", n * (self.size - 1), self.size - 1)
+
+    def _account_allreduce(self, payload: Any) -> None:
+        n = payload_nbytes(payload)
+        self._log_collective("allreduce", 2 * n * (self.size - 1), 2 * (self.size - 1))
+
+    def _account_allgather(self, values: List[Any]) -> None:
+        total = sum(payload_nbytes(v) for v in values)
+        self._log_collective(
+            "allgather", total * (self.size - 1), self.size * (self.size - 1)
+        )
+
+    def _account_alltoall(self, matrix_bytes: int) -> None:
+        self._log_collective("alltoall", matrix_bytes, self.size * (self.size - 1))
+
+    @staticmethod
+    def reduce_values(values: List[Any], op: str) -> Any:
+        """Apply the named reduction across a list of payloads."""
+        try:
+            ufunc: Callable = REDUCE_OPS[op]
+        except KeyError:
+            raise ValueError(
+                f"unknown reduce op {op!r}; expected one of {sorted(REDUCE_OPS)}"
+            ) from None
+        result = values[0]
+        for value in values[1:]:
+            result = ufunc(result, value)
+        return result

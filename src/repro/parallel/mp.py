@@ -1,0 +1,222 @@
+"""Multiprocessing communicator: real process parallelism.
+
+Runs the same rank programs as :mod:`repro.parallel.sim` under
+``multiprocessing``, so the parallel kernels get true CPU parallelism
+(each process has its own GIL).  Collectives use a star topology through
+rank 0: every rank funnels its contribution to rank 0's queue, rank 0
+reduces/assembles, and fans results back out through per-rank queues —
+the same naive algorithm the traffic model assumes.
+
+Intended for integration tests and demonstration (the paper's parallel
+discussion is analytic); scalability of the star hub is not a goal.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Any, Callable, List, Optional
+
+import numpy as np
+
+from repro.parallel.comm import Communicator, payload_nbytes
+from repro.parallel.traffic import TrafficLog
+
+#: Tag a dying rank pushes to the hub so collectives fail fast instead
+#: of blocking until the collection timeout.
+_POISON_TAG = "__rank_failed__"
+
+
+class MpCommunicator(Communicator):
+    """Queue-backed communicator for one rank of a process group."""
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        to_hub: "mp.Queue",
+        from_hub: List["mp.Queue"],
+        p2p: List[List["mp.Queue"]],
+        traffic: Optional[TrafficLog] = None,
+    ) -> None:
+        super().__init__(rank, size, traffic)
+        self._to_hub = to_hub
+        self._from_hub = from_hub
+        self._p2p = p2p
+
+    # ------------------------------------------------------------------
+    # Point-to-point
+    # ------------------------------------------------------------------
+    def send(self, dest: int, payload: Any) -> None:
+        if not 0 <= dest < self.size:
+            raise ValueError(f"dest {dest} outside [0, {self.size})")
+        self.traffic.record("send", payload_nbytes(payload), 1, self.rank)
+        self._p2p[self.rank][dest].put(payload)
+
+    def recv(self, source: int) -> Any:
+        if not 0 <= source < self.size:
+            raise ValueError(f"source {source} outside [0, {self.size})")
+        return self._p2p[source][self.rank].get()
+
+    # ------------------------------------------------------------------
+    # Star-topology collectives
+    # ------------------------------------------------------------------
+    def _hub_round(self, tag: str, value: Any, assemble: Callable[[List[Any]], Any]) -> Any:
+        """One gather-to-hub / fan-out round.
+
+        ``assemble`` runs on rank 0 over the rank-ordered contribution
+        list and its result is distributed to every rank.
+        """
+        if self.rank == 0:
+            contributions: List[Any] = [None] * self.size
+            contributions[0] = value
+            for _ in range(self.size - 1):
+                src, src_tag, payload = self._to_hub.get()
+                if src_tag == _POISON_TAG:
+                    raise RuntimeError(
+                        f"rank {src} failed during collective {tag!r}: "
+                        f"{payload}"
+                    )
+                if src_tag != tag:
+                    raise RuntimeError(
+                        f"collective mismatch at hub: expected {tag!r}, "
+                        f"rank {src} sent {src_tag!r}"
+                    )
+                contributions[src] = payload
+            result = assemble(contributions)
+            for dest in range(1, self.size):
+                self._from_hub[dest].put((tag, result))
+            return result
+        self._to_hub.put((self.rank, tag, value))
+        result_tag, result = self._from_hub[self.rank].get()
+        if result_tag != tag:
+            raise RuntimeError(
+                f"collective mismatch at rank {self.rank}: expected {tag!r}, "
+                f"hub sent {result_tag!r}"
+            )
+        return result
+
+    def barrier(self) -> None:
+        self._hub_round("barrier", None, lambda contributions: None)
+
+    def bcast(self, payload: Any, root: int = 0) -> Any:
+        if root != 0:
+            # Route through rank 0: root hands its payload up first.
+            marker = payload if self.rank == root else None
+            gathered = self._hub_round("bcast-gather", marker, list)
+            result = gathered[root]
+        else:
+            result = self._hub_round(
+                "bcast", payload if self.rank == 0 else None,
+                lambda contributions: contributions[0],
+            )
+        self._account_bcast(result)
+        return result
+
+    def allreduce(self, value: Any, op: str = "sum") -> Any:
+        result = self._hub_round(
+            "allreduce", value, lambda vals: self.reduce_values(vals, op)
+        )
+        self._account_allreduce(value)
+        if isinstance(result, np.ndarray):
+            return result.copy()
+        return result
+
+    def allgather(self, value: Any) -> List[Any]:
+        result = self._hub_round("allgather", value, list)
+        self._account_allgather(result)
+        return result
+
+    def alltoall(self, payloads: List[Any]) -> List[Any]:
+        if len(payloads) != self.size:
+            raise ValueError(
+                f"alltoall needs {self.size} payloads, got {len(payloads)}"
+            )
+        matrix = self._hub_round("alltoall", payloads, list)
+        received = [matrix[src][self.rank] for src in range(self.size)]
+        off_diagonal = sum(
+            payload_nbytes(matrix[s][d])
+            for s in range(self.size)
+            for d in range(self.size)
+            if s != d
+        )
+        self._account_alltoall(off_diagonal)
+        return received
+
+
+def _worker(
+    program: Callable[..., Any],
+    rank: int,
+    size: int,
+    to_hub: "mp.Queue",
+    from_hub: List["mp.Queue"],
+    p2p: List[List["mp.Queue"]],
+    result_queue: "mp.Queue",
+    args: tuple,
+) -> None:
+    comm = MpCommunicator(rank, size, to_hub, from_hub, p2p)
+    try:
+        result = program(comm, *args)
+        result_queue.put((rank, "ok", result, comm.traffic.summary()))
+    except BaseException as exc:  # noqa: BLE001 - marshalled to parent
+        result_queue.put((rank, "error", repr(exc), None))
+        if rank != 0:
+            # Unblock the hub if it is waiting on this rank's collective
+            # contribution; rank 0 re-raises the failure immediately.
+            to_hub.put((rank, _POISON_TAG, repr(exc)))
+
+
+def run_rank_programs_mp(
+    program: Callable[..., Any],
+    size: int,
+    *args: Any,
+    timeout: float = 300.0,
+) -> List[Any]:
+    """Run ``program(comm, *args)`` on ``size`` OS processes.
+
+    The program and arguments must be picklable (module-level functions,
+    numpy arrays).  Returns rank-ordered results.
+
+    Raises
+    ------
+    RuntimeError
+        If any rank failed or results did not arrive within ``timeout``.
+    """
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    ctx = mp.get_context("fork")
+    to_hub: "mp.Queue" = ctx.Queue()
+    from_hub = [ctx.Queue() for _ in range(size)]
+    p2p = [[ctx.Queue() for _ in range(size)] for _ in range(size)]
+    result_queue: "mp.Queue" = ctx.Queue()
+
+    processes = [
+        ctx.Process(
+            target=_worker,
+            args=(program, rank, size, to_hub, from_hub, p2p, result_queue, args),
+            name=f"mp-rank-{rank}",
+        )
+        for rank in range(size)
+    ]
+    for process in processes:
+        process.start()
+
+    results: List[Any] = [None] * size
+    failures: List[str] = []
+    try:
+        for _ in range(size):
+            rank, status, payload, _traffic = result_queue.get(timeout=timeout)
+            if status == "ok":
+                results[rank] = payload
+            else:
+                failures.append(f"rank {rank}: {payload}")
+    except Exception as exc:  # queue.Empty or unpickling issues
+        failures.append(f"collection failed: {exc!r}")
+    finally:
+        for process in processes:
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()
+                failures.append(f"{process.name} terminated (deadlock?)")
+    if failures:
+        raise RuntimeError("; ".join(failures))
+    return results

@@ -1,0 +1,195 @@
+"""In-process simulated communicator (threads).
+
+``run_rank_programs(program, size)`` runs ``size`` copies of a rank
+program concurrently in threads, giving each a :class:`SimCommunicator`
+wired to a shared collective state.  Because everything lives in one
+process the simulator is deterministic, debuggable, and byte-accurate
+for traffic accounting — the measurement tool behind the paper's
+"network-limited" kernel analysis.
+
+Python's GIL means no actual compute parallelism; that is irrelevant
+here — the simulator validates *correctness* of the decomposition and
+*measures* communication, while :mod:`repro.parallel.mp` provides real
+process parallelism.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.parallel.comm import Communicator, payload_nbytes
+from repro.parallel.traffic import TrafficLog
+
+
+class _GroupState:
+    """Shared state for one communicator group."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.barrier = threading.Barrier(size)
+        self.slots: List[Any] = [None] * size
+        self.matrix: List[List[Any]] = [[None] * size for _ in range(size)]
+        self.result: Any = None
+        self.queues: Dict[Tuple[int, int], "queue.Queue[Any]"] = {
+            (src, dst): queue.Queue() for src in range(size) for dst in range(size)
+        }
+
+
+class SimCommunicator(Communicator):
+    """Thread-backed communicator for one rank of a simulated group."""
+
+    def __init__(self, rank: int, size: int, state: _GroupState,
+                 traffic: Optional[TrafficLog] = None) -> None:
+        super().__init__(rank, size, traffic)
+        self._state = state
+
+    # ------------------------------------------------------------------
+    # Point-to-point
+    # ------------------------------------------------------------------
+    def send(self, dest: int, payload: Any) -> None:
+        if not 0 <= dest < self.size:
+            raise ValueError(f"dest {dest} outside [0, {self.size})")
+        self.traffic.record("send", payload_nbytes(payload), 1, self.rank)
+        self._state.queues[(self.rank, dest)].put(payload)
+
+    def recv(self, source: int) -> Any:
+        if not 0 <= source < self.size:
+            raise ValueError(f"source {source} outside [0, {self.size})")
+        return self._state.queues[(source, self.rank)].get()
+
+    # ------------------------------------------------------------------
+    # Collectives
+    # ------------------------------------------------------------------
+    def barrier(self) -> None:
+        self._state.barrier.wait()
+
+    def bcast(self, payload: Any, root: int = 0) -> Any:
+        state = self._state
+        if self.rank == root:
+            state.result = payload
+            self._account_bcast(payload)
+        state.barrier.wait()
+        result = state.result
+        state.barrier.wait()
+        return result
+
+    def allreduce(self, value: Any, op: str = "sum") -> Any:
+        state = self._state
+        state.slots[self.rank] = value
+        state.barrier.wait()
+        if self.rank == 0:
+            state.result = self.reduce_values(list(state.slots), op)
+            self._account_allreduce(value)
+        state.barrier.wait()
+        result = state.result
+        state.barrier.wait()
+        if isinstance(result, np.ndarray):
+            return result.copy()
+        return result
+
+    def allgather(self, value: Any) -> List[Any]:
+        state = self._state
+        state.slots[self.rank] = value
+        state.barrier.wait()
+        gathered = list(state.slots)
+        if self.rank == 0:
+            self._account_allgather(gathered)
+        state.barrier.wait()
+        return gathered
+
+    def alltoall(self, payloads: List[Any]) -> List[Any]:
+        if len(payloads) != self.size:
+            raise ValueError(
+                f"alltoall needs {self.size} payloads, got {len(payloads)}"
+            )
+        state = self._state
+        for dest, payload in enumerate(payloads):
+            state.matrix[self.rank][dest] = payload
+        state.barrier.wait()
+        received = [state.matrix[src][self.rank] for src in range(self.size)]
+        if self.rank == 0:
+            off_diagonal = sum(
+                payload_nbytes(state.matrix[s][d])
+                for s in range(self.size)
+                for d in range(self.size)
+                if s != d
+            )
+            self._account_alltoall(off_diagonal)
+        state.barrier.wait()
+        return received
+
+
+def run_rank_programs(
+    program: Callable[..., Any],
+    size: int,
+    *args: Any,
+    traffic: Optional[TrafficLog] = None,
+    timeout: float = 120.0,
+) -> List[Any]:
+    """Run ``program(comm, *args)`` on ``size`` simulated ranks.
+
+    Parameters
+    ----------
+    program:
+        Rank program; receives a :class:`SimCommunicator` as its first
+        argument.  All ranks get the same ``*args``.
+    size:
+        Number of ranks.
+    traffic:
+        Optional shared traffic log (a fresh one is created otherwise;
+        retrieve it from any rank's communicator if needed).
+    timeout:
+        Per-thread join timeout; a deadlocked program raises rather
+        than hanging the test suite.
+
+    Returns
+    -------
+    list
+        Rank-ordered return values.
+
+    Raises
+    ------
+    RuntimeError
+        If any rank raised (the first error is re-raised as the cause)
+        or the join timed out (likely collective mismatch/deadlock).
+    """
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    state = _GroupState(size)
+    shared_traffic = traffic if traffic is not None else TrafficLog()
+    results: List[Any] = [None] * size
+    errors: List[Tuple[int, BaseException]] = []
+
+    def runner(rank: int) -> None:
+        comm = SimCommunicator(rank, size, state, shared_traffic)
+        try:
+            results[rank] = program(comm, *args)
+        except BaseException as exc:  # noqa: BLE001 - propagated below
+            errors.append((rank, exc))
+            state.barrier.abort()
+
+    threads = [
+        threading.Thread(target=runner, args=(rank,), name=f"sim-rank-{rank}")
+        for rank in range(size)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=timeout)
+    alive = [t.name for t in threads if t.is_alive()]
+    if alive:
+        state.barrier.abort()
+        raise RuntimeError(f"simulated ranks deadlocked or timed out: {alive}")
+    if errors:
+        rank, exc = errors[0]
+        if isinstance(exc, threading.BrokenBarrierError):
+            others = [r for r, e in errors if not isinstance(e, threading.BrokenBarrierError)]
+            raise RuntimeError(
+                f"rank {rank} hit a broken barrier (other failing ranks: {others})"
+            ) from exc
+        raise RuntimeError(f"rank {rank} failed: {exc}") from exc
+    return results

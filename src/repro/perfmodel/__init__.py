@@ -1,0 +1,54 @@
+"""Analytic performance models.
+
+Paper Section V: "The computations are also simple enough that
+performance predictions can be made based on simple hardware models."
+This package implements those models:
+
+* :class:`HardwareModel` — a machine description (memory bandwidth,
+  storage read/write bandwidth, network alpha-beta, scalar op rate);
+* :mod:`repro.perfmodel.kernels` — per-kernel byte/operation counting
+  and predicted edges/second, serial and parallel;
+* :func:`calibrate_from_run` — fit the free parameters of a
+  :class:`HardwareModel` from one measured pipeline run so predictions
+  extrapolate across scales.
+"""
+
+from __future__ import annotations
+
+from repro.perfmodel.hardware import HardwareModel, LAPTOP_CLASS, SERVER_CLASS
+from repro.perfmodel.kernels import (
+    KernelPrediction,
+    predict_kernel0,
+    predict_kernel1,
+    predict_kernel2,
+    predict_kernel3,
+    predict_parallel_kernel3,
+    predict_pipeline,
+)
+from repro.perfmodel.calibrate import calibrate_from_run
+from repro.perfmodel.compare import (
+    ExtrapolationStudy,
+    KernelComparison,
+    compare_run,
+    extrapolation_study,
+    render_comparison,
+)
+
+__all__ = [
+    "ExtrapolationStudy",
+    "HardwareModel",
+    "KernelComparison",
+    "KernelPrediction",
+    "LAPTOP_CLASS",
+    "SERVER_CLASS",
+    "calibrate_from_run",
+    "compare_run",
+    "extrapolation_study",
+    "predict_kernel0",
+    "predict_kernel1",
+    "predict_kernel2",
+    "predict_kernel3",
+    "predict_parallel_kernel3",
+    "predict_pipeline",
+    "render_comparison",
+]

@@ -1,0 +1,100 @@
+"""Calibrate a hardware model from a measured pipeline run.
+
+The analytic models have free rate parameters; fitting them to one
+measured run (one scale, one backend) lets the model *extrapolate* to
+other scales — the workflow the paper sketches for predicting
+performance "on current and proposed systems".
+
+The calibration is deliberately simple (the models are simple): each
+measured kernel adjusts the rate of the resource the model says
+dominates that kernel, scaled so the model reproduces the measurement
+exactly at the calibration point.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import KernelName
+from repro.core.results import PipelineResult
+from repro.perfmodel.hardware import HardwareModel
+from repro.perfmodel.kernels import (
+    predict_kernel0,
+    predict_kernel1,
+    predict_kernel2,
+    predict_kernel3,
+)
+
+
+def calibrate_from_run(result: PipelineResult, base: HardwareModel) -> HardwareModel:
+    """Return ``base`` with rates rescaled to match a measured run.
+
+    Parameters
+    ----------
+    result:
+        A completed pipeline run (all four kernels present).
+    base:
+        Starting hardware model; its rate *ratios* are preserved within
+        each kernel, only the dominant rate is rescaled.
+
+    Notes
+    -----
+    Kernel 3 calibrates memory bandwidth; Kernel 0 calibrates storage
+    write; Kernel 1 storage read is inferred after accounting for the
+    write rate; Kernel 2 calibrates the scalar-op rate when parsing
+    dominates, else memory bandwidth (already set by K3, so K2's
+    residual lands on the scalar rate).  Calibration order matters and
+    is fixed: K3 -> K0 -> K1 -> K2.
+    """
+    m = result.config.num_edges
+    iterations = result.config.iterations
+    hw = base
+
+    # K3 -> memory bandwidth.
+    measured = result.kernel(KernelName.K3_PAGERANK).seconds
+    if measured > 0:
+        predicted = predict_kernel3(hw, m, iterations=iterations).seconds
+        if predicted > 0:
+            hw = hw.with_rates(
+                mem_bw_bytes_per_s=hw.mem_bw_bytes_per_s * predicted / measured
+            )
+
+    # K0 -> storage write (and formatting scalar rate if that dominates).
+    measured = result.kernel(KernelName.K0_GENERATE).seconds
+    if measured > 0:
+        pred = predict_kernel0(hw, m)
+        if pred.seconds > 0:
+            factor = pred.seconds / measured
+            if max(pred.terms, key=pred.terms.get) == "format_scalar":
+                hw = hw.with_rates(scalar_ops_per_s=hw.scalar_ops_per_s * factor)
+            else:
+                hw = hw.with_rates(
+                    storage_write_bytes_per_s=hw.storage_write_bytes_per_s * factor
+                )
+
+    # K1 -> storage read / sort constant.
+    measured = result.kernel(KernelName.K1_SORT).seconds
+    if measured > 0:
+        pred = predict_kernel1(hw, m)
+        if pred.seconds > 0:
+            factor = pred.seconds / measured
+            dominant = max(pred.terms, key=pred.terms.get)
+            if dominant == "storage_read":
+                hw = hw.with_rates(
+                    storage_read_bytes_per_s=hw.storage_read_bytes_per_s * factor
+                )
+            elif dominant == "sort_memory":
+                hw = hw.with_rates(sort_constant=hw.sort_constant / factor)
+            else:
+                hw = hw.with_rates(scalar_ops_per_s=hw.scalar_ops_per_s * factor)
+
+    # K2 -> whatever residual resource dominates it.
+    measured = result.kernel(KernelName.K2_FILTER).seconds
+    if measured > 0:
+        pred = predict_kernel2(hw, m)
+        if pred.seconds > 0:
+            factor = pred.seconds / measured
+            dominant = max(pred.terms, key=pred.terms.get)
+            if dominant == "parse_scalar":
+                hw = hw.with_rates(scalar_ops_per_s=hw.scalar_ops_per_s * factor)
+            # memory/storage rates already pinned by K3/K1 — leave them.
+
+    return hw.with_rates() if hw is base else hw

@@ -1,0 +1,83 @@
+"""Hardware descriptions for the analytic models.
+
+A :class:`HardwareModel` is the small set of rates the paper's "simple
+computing hardware models" need: stream memory bandwidth, storage read
+and write bandwidth, a latency/bandwidth (alpha-beta) network model, and
+an interpreted/compiled scalar operation rate for the string-heavy
+phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class HardwareModel:
+    """Machine rates used by the kernel predictions.
+
+    Attributes
+    ----------
+    name:
+        Label for reports.
+    mem_bw_bytes_per_s:
+        Sustainable stream memory bandwidth (bytes/s).
+    storage_read_bytes_per_s / storage_write_bytes_per_s:
+        Sequential file I/O bandwidth (bytes/s).
+    net_alpha_s:
+        Per-message network latency (seconds).
+    net_beta_s_per_byte:
+        Inverse network bandwidth (seconds/byte).
+    scalar_ops_per_s:
+        Throughput of the scalar-dominated phases (string formatting /
+        parsing, hash updates); the big knob separating interpreted
+        from compiled implementations.
+    sort_constant:
+        Dimensionless fudge for comparison-sort constants relative to a
+        pure streaming pass.
+    """
+
+    name: str
+    mem_bw_bytes_per_s: float = 8e9
+    storage_read_bytes_per_s: float = 1.5e9
+    storage_write_bytes_per_s: float = 1.0e9
+    net_alpha_s: float = 2e-6
+    net_beta_s_per_byte: float = 1e-9
+    scalar_ops_per_s: float = 5e7
+    sort_constant: float = 4.0
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "mem_bw_bytes_per_s",
+            "storage_read_bytes_per_s",
+            "storage_write_bytes_per_s",
+            "net_beta_s_per_byte",
+            "scalar_ops_per_s",
+            "sort_constant",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be > 0")
+        if self.net_alpha_s < 0:
+            raise ValueError("net_alpha_s must be >= 0")
+
+    def with_rates(self, **changes: float) -> "HardwareModel":
+        """Functional update of any rate field."""
+        return replace(self, **changes)
+
+
+#: A modern laptop / small VM: NVMe-class storage, one memory channel
+#: saturated, interpreted-language scalar rate.
+LAPTOP_CLASS = HardwareModel(name="laptop-class")
+
+#: A dual-socket server with a parallel file system, resembling the
+#: paper's Xeon E5-2650 + Lustre testbed in spirit.
+SERVER_CLASS = HardwareModel(
+    name="server-class",
+    mem_bw_bytes_per_s=50e9,
+    storage_read_bytes_per_s=3e9,
+    storage_write_bytes_per_s=2e9,
+    net_alpha_s=1.5e-6,
+    net_beta_s_per_byte=2.5e-10,
+    scalar_ops_per_s=2e8,
+    sort_constant=4.0,
+)

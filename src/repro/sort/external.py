@@ -1,0 +1,349 @@
+"""Out-of-core external sort for edge datasets (Kernel 1 at scale).
+
+The paper: "if u and v are too large to fit in memory, then an
+out-of-core algorithm would be required."  This module implements the
+textbook two-phase external sort with bounded memory:
+
+1. **Run generation** — stream the input dataset in batches of
+   ``batch_edges`` edges, sort each batch in memory, spill it as a
+   sorted *run* (raw int64 pairs on disk).
+2. **K-way merge** — merge up to ``fan_in`` runs at a time using a
+   vectorised boundary merge: each round reads one block per run, finds
+   the smallest per-run block-maximum (the *safe boundary*), emits every
+   buffered edge with key <= boundary (their global order is fully
+   determined), and refills.  More runs than ``fan_in`` triggers
+   multi-pass merging.
+
+Memory is bounded by ``O(batch_edges + fan_in * merge_block_edges)``
+regardless of dataset size.
+"""
+
+from __future__ import annotations
+
+import heapq
+import shutil
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro._util import check_positive_int
+from repro.edgeio.dataset import EdgeDataset
+from repro.sort.inmemory import sort_edges
+
+
+@dataclass(frozen=True)
+class ExternalSortConfig:
+    """Tuning parameters for the external sort.
+
+    Attributes
+    ----------
+    batch_edges:
+        Edges per in-memory run (phase 1 memory bound).
+    fan_in:
+        Maximum runs merged simultaneously (phase 2 width).
+    merge_block_edges:
+        Edges read per run per refill during merging.
+    algorithm:
+        In-memory sort used for run generation (see
+        :func:`repro.sort.inmemory.sort_edges`).
+    tmp_dir:
+        Spill directory; defaults to a fresh ``tempfile.mkdtemp``.
+    """
+
+    batch_edges: int = 1 << 18
+    fan_in: int = 16
+    merge_block_edges: int = 1 << 15
+    algorithm: str = "numpy"
+    tmp_dir: Optional[Path] = None
+
+    def __post_init__(self) -> None:
+        check_positive_int("batch_edges", self.batch_edges)
+        check_positive_int("merge_block_edges", self.merge_block_edges)
+        if self.fan_in < 2:
+            raise ValueError(f"fan_in must be >= 2, got {self.fan_in}")
+
+
+class _RunWriter:
+    """Appends sorted edge blocks to a raw int64-pair file."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self._fh = open(path, "wb")
+        self.num_edges = 0
+
+    def append(self, u: np.ndarray, v: np.ndarray) -> None:
+        stacked = np.column_stack(
+            [np.asarray(u, np.int64), np.asarray(v, np.int64)]
+        )
+        stacked.tofile(self._fh)
+        self.num_edges += len(u)
+
+    def close(self) -> "_Run":
+        self._fh.close()
+        return _Run(self.path, self.num_edges)
+
+
+@dataclass
+class _Run:
+    """A completed sorted run on disk."""
+
+    path: Path
+    num_edges: int
+
+    def open_reader(self, block_edges: int, lex_mult: int = 0) -> "_RunReader":
+        return _RunReader(self, block_edges, lex_mult)
+
+    def delete(self) -> None:
+        self.path.unlink(missing_ok=True)
+
+
+class _RunReader:
+    """Buffered block reader over a run file (memory-mapped).
+
+    ``lex_mult`` selects the merge key: 0 sorts on ``u`` alone; a
+    positive value sorts on the composite ``u * lex_mult + v`` (used for
+    lexicographic ``(u, v)`` merging — ties in ``u`` that span merge
+    batches would otherwise lose their ``v`` order).
+    """
+
+    def __init__(self, run: _Run, block_edges: int, lex_mult: int = 0) -> None:
+        self.run = run
+        self.block_edges = block_edges
+        self.lex_mult = lex_mult
+        if run.num_edges:
+            self._mm = np.memmap(
+                run.path, dtype=np.int64, mode="r", shape=(run.num_edges, 2)
+            )
+        else:
+            self._mm = np.empty((0, 2), dtype=np.int64)
+        self._cursor = 0
+        self.buf_u = np.empty(0, dtype=np.int64)
+        self.buf_v = np.empty(0, dtype=np.int64)
+        self.buf_key = np.empty(0, dtype=np.int64)
+
+    @property
+    def exhausted(self) -> bool:
+        """True when both the file and the buffer are drained."""
+        return self._cursor >= self.run.num_edges and len(self.buf_u) == 0
+
+    def refill(self) -> None:
+        """Top the buffer up with the next file block, if any."""
+        if len(self.buf_u) > 0 or self._cursor >= self.run.num_edges:
+            return
+        end = min(self._cursor + self.block_edges, self.run.num_edges)
+        block = np.asarray(self._mm[self._cursor:end])
+        self._cursor = end
+        self.buf_u = block[:, 0].copy()
+        self.buf_v = block[:, 1].copy()
+        if self.lex_mult:
+            self.buf_key = self.buf_u * self.lex_mult + self.buf_v
+        else:
+            self.buf_key = self.buf_u
+
+    def take_upto(self, boundary: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Remove and return buffered edges with ``key <= boundary``."""
+        cut = int(np.searchsorted(self.buf_key, boundary, side="right"))
+        take = (self.buf_u[:cut], self.buf_v[:cut], self.buf_key[:cut])
+        self.buf_u = self.buf_u[cut:]
+        self.buf_v = self.buf_v[cut:]
+        self.buf_key = self.buf_key[cut:]
+        return take
+
+
+def _merge_runs(
+    runs: List[_Run],
+    emit,
+    *,
+    block_edges: int,
+    lex_mult: int = 0,
+) -> None:
+    """Merge sorted runs, calling ``emit(u, v)`` with ordered batches.
+
+    Uses the boundary-merge scheme described in the module docstring;
+    each emitted batch is internally sorted and batches are emitted in
+    non-decreasing key order, so their concatenation is globally sorted.
+    """
+    readers = [r.open_reader(block_edges, lex_mult) for r in runs]
+    while True:
+        active = []
+        for reader in readers:
+            reader.refill()
+            if len(reader.buf_u):
+                active.append(reader)
+        if not active:
+            break
+        # Safe boundary: smallest of the per-reader buffered key maxima.
+        boundary = min(int(r.buf_key[-1]) for r in active)
+        parts_u: List[np.ndarray] = []
+        parts_v: List[np.ndarray] = []
+        parts_key: List[np.ndarray] = []
+        for reader in active:
+            pu, pv, pk = reader.take_upto(boundary)
+            if len(pu):
+                parts_u.append(pu)
+                parts_v.append(pv)
+                parts_key.append(pk)
+        cat_u = np.concatenate(parts_u)
+        cat_v = np.concatenate(parts_v)
+        cat_key = np.concatenate(parts_key)
+        order = np.argsort(cat_key, kind="stable")
+        emit(cat_u[order], cat_v[order])
+
+
+def _merge_to_run(
+    runs: List[_Run], path: Path, *, block_edges: int, lex_mult: int = 0
+) -> _Run:
+    """Merge ``runs`` into a single new run file."""
+    writer = _RunWriter(path)
+    _merge_runs(runs, writer.append, block_edges=block_edges, lex_mult=lex_mult)
+    merged = writer.close()
+    for run in runs:
+        run.delete()
+    return merged
+
+
+def external_sort_dataset(
+    dataset: EdgeDataset,
+    out_dir: Path,
+    *,
+    config: Optional[ExternalSortConfig] = None,
+    num_shards: Optional[int] = None,
+    by_end_vertex: bool = False,
+) -> EdgeDataset:
+    """Sort a dataset by start vertex without holding it in memory.
+
+    Parameters
+    ----------
+    dataset:
+        Input :class:`~repro.edgeio.dataset.EdgeDataset` (any order).
+    out_dir:
+        Directory for the sorted output dataset.
+    config:
+        :class:`ExternalSortConfig`; defaults used when omitted.
+    num_shards:
+        Output shard count; defaults to the input's shard count.
+    by_end_vertex:
+        Sort lexicographically by ``(u, v)`` instead of ``u`` only.
+
+    Returns
+    -------
+    EdgeDataset
+        The sorted dataset (same format and vertex base as the input).
+
+    Notes
+    -----
+    Spill space is cleaned up on success and on failure; the output
+    manifest is only written after the merge completes, so a crashed
+    sort never yields a dataset that opens successfully.
+    """
+    config = config or ExternalSortConfig()
+    num_shards = num_shards if num_shards is not None else dataset.num_shards
+    check_positive_int("num_shards", num_shards)
+
+    lex_mult = 0
+    if by_end_vertex:
+        if dataset.num_vertices > (1 << 31):
+            raise ValueError(
+                "by_end_vertex external sort supports at most 2**31 vertices "
+                "(composite int64 merge keys would overflow)"
+            )
+        lex_mult = dataset.num_vertices
+
+    own_tmp = config.tmp_dir is None
+    tmp_dir = Path(config.tmp_dir) if config.tmp_dir else Path(
+        tempfile.mkdtemp(prefix="repro-extsort-")
+    )
+    tmp_dir.mkdir(parents=True, exist_ok=True)
+    run_counter = 0
+    runs: List[_Run] = []
+    try:
+        # ---- Phase 1: run generation --------------------------------
+        for u, v in dataset.iter_batches(config.batch_edges):
+            su, sv = sort_edges(
+                u,
+                v,
+                algorithm=config.algorithm,
+                num_vertices=dataset.num_vertices,
+                by_end_vertex=by_end_vertex,
+            )
+            writer = _RunWriter(tmp_dir / f"run-{run_counter:06d}.bin")
+            writer.append(su, sv)
+            runs.append(writer.close())
+            run_counter += 1
+
+        # ---- Phase 2: (multi-pass) k-way merge -----------------------
+        while len(runs) > config.fan_in:
+            next_runs: List[_Run] = []
+            for group_start in range(0, len(runs), config.fan_in):
+                group = runs[group_start:group_start + config.fan_in]
+                if len(group) == 1:
+                    next_runs.append(group[0])
+                    continue
+                merged = _merge_to_run(
+                    group,
+                    tmp_dir / f"run-{run_counter:06d}.bin",
+                    block_edges=config.merge_block_edges,
+                    lex_mult=lex_mult,
+                )
+                next_runs.append(merged)
+                run_counter += 1
+            runs = next_runs
+
+        # ---- Final merge streamed into the output dataset ------------
+        total = dataset.num_edges
+        edges_per_shard = max(1, -(-total // num_shards)) if total else 1
+        with EdgeDataset.stream_writer(
+            out_dir,
+            num_vertices=dataset.num_vertices,
+            vertex_base=dataset.manifest.vertex_base,
+            fmt=dataset.fmt,
+            edges_per_shard=edges_per_shard,
+            extra={"sorted_by": "(u,v)" if by_end_vertex else "u",
+                   "source": str(dataset.directory)},
+        ) as writer:
+            if runs:
+                _merge_runs(
+                    runs,
+                    writer.append,
+                    block_edges=config.merge_block_edges,
+                    lex_mult=lex_mult,
+                )
+        return writer.result
+    finally:
+        for run in runs:
+            run.delete()
+        if own_tmp:
+            shutil.rmtree(tmp_dir, ignore_errors=True)
+
+
+def merge_sorted_arrays(
+    arrays: List[Tuple[np.ndarray, np.ndarray]],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Merge already-sorted in-memory edge arrays into one sorted pair.
+
+    A convenience for tests and the parallel substrate (merging per-rank
+    sorted partitions).  Uses a heap over array heads — O(M log k).
+    """
+    for u, _ in arrays:
+        if len(u) >= 2 and np.any(u[1:] < u[:-1]):
+            raise ValueError("merge_sorted_arrays requires sorted inputs")
+    total = sum(len(u) for u, _ in arrays)
+    out_u = np.empty(total, dtype=np.int64)
+    out_v = np.empty(total, dtype=np.int64)
+    heap: List[Tuple[int, int, int]] = []
+    for idx, (u, _) in enumerate(arrays):
+        if len(u):
+            heapq.heappush(heap, (int(u[0]), idx, 0))
+    pos = 0
+    while heap:
+        key, idx, offset = heapq.heappop(heap)
+        u, v = arrays[idx]
+        out_u[pos] = key
+        out_v[pos] = v[offset]
+        pos += 1
+        if offset + 1 < len(u):
+            heapq.heappush(heap, (int(u[offset + 1]), idx, offset + 1))
+    return out_u, out_v

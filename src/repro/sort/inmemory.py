@@ -1,0 +1,230 @@
+"""In-memory edge sorts.
+
+Three interchangeable algorithms, all returning new ``(u, v)`` arrays
+ordered by start vertex:
+
+* :func:`numpy_sort_edges` — numpy ``argsort`` (introsort / timsort);
+  the general-purpose baseline.
+* :func:`counting_sort_edges` — O(M + N) counting sort exploiting the
+  bounded key range ``u < N``; the natural choice for Kernel 1 since the
+  benchmark fixes ``N = 2**scale`` and ``M = 16N``.
+* :func:`radix_sort_edges` — LSD radix sort over fixed-width digits;
+  O(M · ceil(bits/digit)) with no comparison, included as the classic
+  HPC distribution sort and exercised by the sort ablation bench.
+
+:func:`sort_edges` dispatches by algorithm name.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro._util import check_positive_int, check_same_length
+
+EdgePair = Tuple[np.ndarray, np.ndarray]
+
+_ALGORITHMS = ("numpy", "counting", "radix")
+
+
+def is_sorted_by_start(u: np.ndarray) -> bool:
+    """True when start-vertex array ``u`` is non-decreasing."""
+    if len(u) < 2:
+        return True
+    return bool(np.all(u[1:] >= u[:-1]))
+
+
+def numpy_sort_edges(
+    u: np.ndarray,
+    v: np.ndarray,
+    *,
+    by_end_vertex: bool = False,
+    stable: bool = True,
+) -> EdgePair:
+    """Sort edges by ``u`` using numpy's comparison sort.
+
+    Parameters
+    ----------
+    u, v:
+        Edge arrays.
+    by_end_vertex:
+        Also order ties by ``v`` (lexicographic ``(u, v)`` sort) — the
+        paper's "should the end vertices also be sorted?" option.
+    stable:
+        Preserve input order among equal keys.  Ignored when
+        ``by_end_vertex`` is set (the secondary key defines tie order).
+    """
+    check_same_length("u", u, "v", v)
+    if by_end_vertex:
+        order = np.lexsort((v, u))
+    else:
+        order = np.argsort(u, kind="stable" if stable else None)
+    return u[order], v[order]
+
+
+def counting_sort_edges(
+    u: np.ndarray,
+    v: np.ndarray,
+    *,
+    num_vertices: int,
+    by_end_vertex: bool = False,
+) -> EdgePair:
+    """Counting sort by start vertex: O(M + N), always stable.
+
+    Builds the output offsets from a histogram of ``u`` (exactly the
+    CSR row-pointer construction), then scatters edges to their slots.
+
+    Parameters
+    ----------
+    num_vertices:
+        Exclusive upper bound on vertex labels (the histogram length).
+    by_end_vertex:
+        Apply a second counting pass on ``v`` first so the final order
+        is lexicographic ``(u, v)``; stability of the second pass makes
+        this a classic LSD two-pass sort.
+    """
+    check_same_length("u", u, "v", v)
+    check_positive_int("num_vertices", num_vertices)
+    if len(u) and (u.min() < 0 or u.max() >= num_vertices):
+        raise ValueError(
+            f"u labels outside [0, {num_vertices}): min={u.min()}, max={u.max()}"
+        )
+
+    if by_end_vertex:
+        u, v = counting_sort_edges(v, u, num_vertices=num_vertices)[::-1]
+        # After sorting by v (stable), sort by u (stable) => (u, v) order.
+
+    counts = np.bincount(u, minlength=num_vertices)
+    offsets = np.zeros(num_vertices + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    position = offsets[u].copy()
+    # Stable scatter: edges with equal u are placed in input order by
+    # bumping each key's cursor as we assign.  Vectorised via argsort of
+    # the (already computed) destination start plus per-key sequence no.
+    seq = _per_key_sequence(u, num_vertices)
+    dest = position + seq
+    out_u = np.empty_like(u)
+    out_v = np.empty_like(v)
+    out_u[dest] = u
+    out_v[dest] = v
+    return out_u, out_v
+
+
+def _per_key_sequence(keys: np.ndarray, num_keys: int) -> np.ndarray:
+    """For each element, its 0-based occurrence index among equal keys.
+
+    E.g. ``[3, 1, 3, 3, 1] -> [0, 0, 1, 2, 1]``.  Vectorised with a
+    stable argsort + segmented arange.
+    """
+    m = len(keys)
+    if m == 0:
+        return np.empty(0, dtype=np.int64)
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    # Position within each equal-key run of the sorted array.
+    run_start = np.r_[True, sorted_keys[1:] != sorted_keys[:-1]]
+    run_ids = np.cumsum(run_start) - 1
+    first_index_of_run = np.flatnonzero(run_start)
+    within_run = np.arange(m, dtype=np.int64) - first_index_of_run[run_ids]
+    seq = np.empty(m, dtype=np.int64)
+    seq[order] = within_run
+    return seq
+
+
+def radix_sort_edges(
+    u: np.ndarray,
+    v: np.ndarray,
+    *,
+    digit_bits: int = 11,
+    by_end_vertex: bool = False,
+) -> EdgePair:
+    """LSD radix sort by start vertex over ``digit_bits``-wide digits.
+
+    Only the digits needed to cover ``max(u)`` are processed, so cost
+    adapts to the actual key width.  Each pass is a stable counting sort
+    on one digit, implemented with ``bincount`` + prefix sums.
+
+    Parameters
+    ----------
+    digit_bits:
+        Width of each radix digit (default 2**11 buckets per pass —
+        a good cache/bucket-count balance for int64 keys).
+    by_end_vertex:
+        Sort lexicographically by ``(u, v)`` by radix-sorting ``v``
+        first (LSD composition of stable passes).
+    """
+    check_same_length("u", u, "v", v)
+    check_positive_int("digit_bits", digit_bits)
+    if digit_bits > 24:
+        raise ValueError(f"digit_bits too large ({digit_bits}); max 24")
+    if len(u) == 0:
+        return u.copy(), v.copy()
+    if u.min() < 0:
+        raise ValueError("radix sort requires non-negative keys")
+
+    if by_end_vertex:
+        v, u = radix_sort_edges(v, u, digit_bits=digit_bits)
+        # Stable u-passes below preserve the v order among equal u.
+
+    mask = (1 << digit_bits) - 1
+    max_key = int(u.max())
+    shift = 0
+    out_u = u.copy()
+    out_v = v.copy()
+    while (max_key >> shift) > 0 or shift == 0:
+        digits = (out_u >> shift) & mask
+        counts = np.bincount(digits, minlength=mask + 1)
+        offsets = np.zeros(mask + 2, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        seq = _per_key_sequence(digits, mask + 1)
+        dest = offsets[digits] + seq
+        next_u = np.empty_like(out_u)
+        next_v = np.empty_like(out_v)
+        next_u[dest] = out_u
+        next_v[dest] = out_v
+        out_u, out_v = next_u, next_v
+        shift += digit_bits
+        if shift >= 63:
+            break
+    return out_u, out_v
+
+
+def sort_edges(
+    u: np.ndarray,
+    v: np.ndarray,
+    *,
+    algorithm: str = "numpy",
+    num_vertices: int = 0,
+    by_end_vertex: bool = False,
+) -> EdgePair:
+    """Dispatch to a named in-memory sort.
+
+    Parameters
+    ----------
+    algorithm:
+        ``"numpy"``, ``"counting"``, or ``"radix"``.
+    num_vertices:
+        Required by the counting sort (histogram length).
+    by_end_vertex:
+        Lexicographic ``(u, v)`` ordering.
+
+    Raises
+    ------
+    ValueError
+        For unknown algorithm names, or counting sort without
+        ``num_vertices``.
+    """
+    if algorithm == "numpy":
+        return numpy_sort_edges(u, v, by_end_vertex=by_end_vertex)
+    if algorithm == "counting":
+        if num_vertices <= 0:
+            raise ValueError("counting sort requires num_vertices > 0")
+        return counting_sort_edges(
+            u, v, num_vertices=num_vertices, by_end_vertex=by_end_vertex
+        )
+    if algorithm == "radix":
+        return radix_sort_edges(u, v, by_end_vertex=by_end_vertex)
+    raise ValueError(
+        f"unknown sort algorithm {algorithm!r}; expected one of {_ALGORITHMS}"
+    )

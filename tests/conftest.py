@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.edgeio.dataset import EdgeDataset
+from repro.generators.kronecker import kronecker_edges
+
+
+@pytest.fixture
+def rng():
+    """A deterministic numpy Generator for test-local randomness."""
+    return np.random.default_rng(20160523)
+
+
+@pytest.fixture
+def small_edges():
+    """A small, fixed Kronecker edge list: scale 6, k=4 (256 edges)."""
+    return kronecker_edges(6, 4, seed=7)
+
+
+@pytest.fixture
+def tiny_dataset(tmp_path, small_edges):
+    """The small edge list written as a 3-shard TSV dataset."""
+    u, v = small_edges
+    return EdgeDataset.write(
+        tmp_path / "tiny", u, v, num_vertices=64, num_shards=3
+    )
+
+
+@pytest.fixture
+def toy_matrix():
+    """A tiny row-normalised adjacency matrix with known structure.
+
+    Graph: 0 -> 1, 1 -> 2, 2 -> 0, 2 -> 1 (rows normalised).
+    """
+    import scipy.sparse as sp
+
+    dense = np.array(
+        [
+            [0.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0],
+            [0.5, 0.5, 0.0],
+        ]
+    )
+    return sp.csr_matrix(dense)

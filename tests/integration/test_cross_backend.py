@@ -1,0 +1,106 @@
+"""Cross-backend equivalence: all five backends must agree.
+
+Kernels 1-3 consume files, so their outputs are well-defined regardless
+of which backend produced the Kernel 0 dataset.  These tests generate
+one shared dataset and push it through every backend, requiring
+bit-identical sorted files (up to tie order) and numerically identical
+matrices and rank vectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends.registry import get_backend
+from repro.core.config import PipelineConfig
+from repro.edgeio.dataset import EdgeDataset
+from repro.generators.kronecker import kronecker_edges
+
+ALL_BACKENDS = ["python", "numpy", "scipy", "dataframe", "graphblas"]
+N = 256
+CONFIG = PipelineConfig(scale=8, edge_factor=8, seed=13, iterations=10)
+
+
+@pytest.fixture(scope="module")
+def shared_dataset(tmp_path_factory):
+    u, v = kronecker_edges(8, 8, seed=13)
+    path = tmp_path_factory.mktemp("shared") / "k0"
+    return EdgeDataset.write(path, u, v, num_vertices=N, num_shards=4)
+
+
+@pytest.fixture(scope="module")
+def per_backend_outputs(shared_dataset, tmp_path_factory):
+    """Run K1->K3 with every backend on the shared dataset."""
+    outputs = {}
+    for name in ALL_BACKENDS:
+        backend = get_backend(name)
+        out_dir = tmp_path_factory.mktemp(f"k1-{name}")
+        k1, _ = backend.kernel1(CONFIG, shared_dataset, out_dir)
+        handle, k2_details = backend.kernel2(CONFIG, k1)
+        rank, _ = backend.kernel3(CONFIG, handle)
+        outputs[name] = {
+            "k1": k1,
+            "matrix": handle.to_scipy_csr(),
+            "k2_details": k2_details,
+            "rank": rank,
+        }
+    return outputs
+
+
+class TestKernel1Agreement:
+    def test_sorted_start_vertices_identical(self, per_backend_outputs):
+        reference = per_backend_outputs["scipy"]["k1"].read_all()[0]
+        for name in ALL_BACKENDS:
+            u, _ = per_backend_outputs[name]["k1"].read_all()
+            assert np.array_equal(u, reference), name
+
+    def test_edge_multisets_identical(self, per_backend_outputs):
+        ref_u, ref_v = per_backend_outputs["scipy"]["k1"].read_all()
+        reference = np.sort(ref_u * N + ref_v)
+        for name in ALL_BACKENDS:
+            u, v = per_backend_outputs[name]["k1"].read_all()
+            assert np.array_equal(np.sort(u * N + v), reference), name
+
+
+class TestKernel2Agreement:
+    def test_matrices_numerically_identical(self, per_backend_outputs):
+        reference = per_backend_outputs["scipy"]["matrix"]
+        for name in ALL_BACKENDS:
+            matrix = per_backend_outputs[name]["matrix"]
+            difference = (matrix - reference)
+            assert abs(difference).max() < 1e-12, name
+
+    def test_elimination_counts_agree(self, per_backend_outputs):
+        reference = per_backend_outputs["scipy"]["k2_details"]
+        for name in ALL_BACKENDS:
+            details = per_backend_outputs[name]["k2_details"]
+            assert details["supernode_columns"] == reference["supernode_columns"], name
+            assert details["leaf_columns"] == reference["leaf_columns"], name
+            assert details["nnz"] == reference["nnz"], name
+
+    def test_entry_totals_equal_m(self, per_backend_outputs):
+        for name in ALL_BACKENDS:
+            details = per_backend_outputs[name]["k2_details"]
+            assert details["pre_filter_entry_total"] == CONFIG.num_edges, name
+
+
+class TestKernel3Agreement:
+    def test_rank_vectors_identical(self, per_backend_outputs):
+        reference = per_backend_outputs["scipy"]["rank"]
+        for name in ALL_BACKENDS:
+            rank = per_backend_outputs[name]["rank"]
+            assert np.allclose(rank, reference, atol=1e-12), name
+
+    def test_rank_matches_specification_function(self, per_backend_outputs):
+        from repro.backends.base import Backend
+        from repro.pagerank.benchmark import benchmark_pagerank
+
+        reference = benchmark_pagerank(
+            per_backend_outputs["scipy"]["matrix"],
+            Backend.initial_rank(CONFIG),
+            damping=CONFIG.damping,
+            iterations=CONFIG.iterations,
+        )
+        assert np.allclose(per_backend_outputs["scipy"]["rank"], reference,
+                           atol=1e-12)

@@ -1,0 +1,184 @@
+"""Failure injection: the pipeline must fail loudly, never silently.
+
+Each test breaks one link of the chain — files, manifests, kernel
+contracts — and asserts a specific, diagnosable error surfaces.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.backends.base import Backend
+from repro.backends.scipy_backend import ScipyBackend
+from repro.core.config import PipelineConfig
+from repro.core.exceptions import KernelContractError
+from repro.core.pipeline import Pipeline
+from repro.edgeio.dataset import EdgeDataset
+from repro.edgeio.errors import CorruptEdgeFileError, DatasetLayoutError
+
+
+class _BrokenK0(ScipyBackend):
+    """Writes fewer edges than the spec demands."""
+
+    name = "broken-k0"
+
+    def kernel0(self, config, out_dir):
+        dataset, details = super().kernel0(config, out_dir)
+        u, v = dataset.read_all()
+        short = EdgeDataset.write(
+            Path(str(out_dir) + "-short"), u[:-5], v[:-5],
+            num_vertices=config.num_vertices,
+        )
+        return short, details
+
+
+class _UnsortedK1(ScipyBackend):
+    """Skips the sort, violating Kernel 1's contract."""
+
+    name = "broken-k1"
+
+    def kernel1(self, config, source, out_dir):
+        u, v = source.read_all()
+        # Deliberately reverse-sort to guarantee disorder.
+        order = np.argsort(-u)
+        dataset = EdgeDataset.write(
+            out_dir, u[order], v[order],
+            num_vertices=source.num_vertices, num_shards=config.num_files,
+        )
+        return dataset, {}
+
+
+class _LossyK2(ScipyBackend):
+    """Drops edges before counting, breaking sum(A) == M."""
+
+    name = "broken-k2"
+
+    def kernel2(self, config, source):
+        handle, details = super().kernel2(config, source)
+        handle._pre_filter_total -= 3.0  # simulate lost edges
+        return handle, details
+
+
+class _NaNK3(ScipyBackend):
+    """Returns a poisoned rank vector."""
+
+    name = "broken-k3"
+
+    def kernel3(self, config, matrix):
+        rank, details = super().kernel3(config, matrix)
+        rank = rank.copy()
+        rank[0] = np.nan
+        return rank, details
+
+
+class TestContractEnforcement:
+    CONFIG = PipelineConfig(scale=6, seed=1)
+
+    def test_k0_edge_count_violation(self):
+        pipeline = Pipeline(self.CONFIG, backend=_BrokenK0())
+        with pytest.raises(KernelContractError, match="spec requires"):
+            pipeline.run()
+
+    def test_k1_unsorted_output(self):
+        pipeline = Pipeline(self.CONFIG, backend=_UnsortedK1())
+        with pytest.raises(KernelContractError, match="not sorted"):
+            pipeline.run()
+
+    def test_k2_entry_sum_violation(self):
+        pipeline = Pipeline(self.CONFIG, backend=_LossyK2())
+        with pytest.raises(KernelContractError, match="sum"):
+            pipeline.run()
+
+    def test_k3_non_finite_rank(self):
+        pipeline = Pipeline(self.CONFIG, backend=_NaNK3())
+        with pytest.raises(KernelContractError, match="non-finite"):
+            pipeline.run()
+
+    def test_verify_false_does_not_hide_k3_shape_errors(self):
+        # verify=False skips checks entirely — document that trade-off.
+        pipeline = Pipeline(self.CONFIG, backend=_UnsortedK1())
+        result = pipeline.run(verify=False)  # no error, caller opted out
+        assert result.rank is not None
+
+
+class TestCorruptFilesMidPipeline:
+    def test_k2_rejects_corrupted_k1_output(self, tmp_path):
+        config = PipelineConfig(scale=6, seed=1)
+        backend = ScipyBackend()
+        k0, _ = backend.kernel0(config, tmp_path / "k0")
+        k1, _ = backend.kernel1(config, k0, tmp_path / "k1")
+        shard = k1.shard_paths()[0]
+        payload = shard.read_bytes()
+        shard.write_bytes(payload[: len(payload) // 2] + b"garbage\t\t\n")
+        with pytest.raises((CorruptEdgeFileError, DatasetLayoutError)):
+            fresh = EdgeDataset.open(k1.directory)
+            backend.kernel2(config, fresh)
+
+    def test_deleted_shard_detected_at_open(self, tmp_path):
+        config = PipelineConfig(scale=6, seed=1, num_files=3)
+        backend = ScipyBackend()
+        k0, _ = backend.kernel0(config, tmp_path / "k0")
+        k0.shard_paths()[1].unlink()
+        with pytest.raises(DatasetLayoutError, match="missing"):
+            EdgeDataset.open(k0.directory)
+
+    def test_manifest_tampering_detected(self, tmp_path):
+        config = PipelineConfig(scale=6, seed=1)
+        backend = ScipyBackend()
+        k0, _ = backend.kernel0(config, tmp_path / "k0")
+        manifest_path = tmp_path / "k0" / "manifest.json"
+        manifest_path.write_text(manifest_path.read_text().replace(
+            '"num_edges": 1024', '"num_edges": 999'
+        ))
+        reopened = EdgeDataset.open(tmp_path / "k0", verify=False)
+        with pytest.raises(CorruptEdgeFileError, match="manifest says"):
+            reopened.read_shard(0)
+
+
+class TestDegenerateGraphs:
+    @pytest.mark.parametrize("edges", [
+        ([0, 1, 2], [0, 1, 2]),          # only self-loops
+        ([0] * 10, [1] * 10),            # one repeated edge
+        ([0, 1], [1, 0]),                # 2-cycle
+    ])
+    def test_kernel2_and_3_survive(self, tmp_path, edges):
+        u, v = (np.array(edges[0], dtype=np.int64),
+                np.array(edges[1], dtype=np.int64))
+        ds = EdgeDataset.write(tmp_path / "d", u, v, num_vertices=4)
+        config = PipelineConfig(scale=2, seed=1)
+        backend = ScipyBackend()
+        handle, _ = backend.kernel2(config, ds)
+        rank, _ = backend.kernel3(config, handle)
+        assert np.isfinite(rank).all()
+
+    def test_empty_edge_list(self, tmp_path):
+        empty = np.empty(0, dtype=np.int64)
+        ds = EdgeDataset.write(tmp_path / "d", empty, empty, num_vertices=4)
+        config = PipelineConfig(scale=2, seed=1)
+        backend = ScipyBackend()
+        handle, details = backend.kernel2(config, ds)
+        assert handle.nnz == 0
+        rank, _ = backend.kernel3(config, handle)
+        # Pure teleport: uniform collapse.
+        assert np.allclose(rank, rank[0])
+
+
+class TestBadWorkspace:
+    def test_unwritable_data_dir_raises_os_error(self, tmp_path):
+        import os
+
+        if os.geteuid() == 0:
+            pytest.skip("root bypasses file permission bits")
+        target = tmp_path / "readonly"
+        target.mkdir()
+        target.chmod(0o500)
+        config = PipelineConfig(scale=6, seed=1, data_dir=target,
+                                keep_files=True)
+        try:
+            with pytest.raises(PermissionError):
+                Pipeline(config).run()
+        finally:
+            target.chmod(0o700)

@@ -1,0 +1,148 @@
+"""Distributed Kernel 0 and Kernel 1: full-parallel-pipeline closure.
+
+With these, every kernel of the pipeline has a distributed form:
+K0 (communication-free block generation), K1 (sample sort),
+K2 (in-degree allreduce + elimination broadcast), K3 (spread allreduce).
+This module checks K0's multiset equivalence with the serial generator
+and K1's global ordering, then runs the complete distributed pipeline
+K0 -> K1 -> K2 -> K3 against the serial reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generators.kronecker import kronecker_blocks
+from repro.parallel import (
+    RowPartition,
+    parallel_kernel0,
+    parallel_kernel1,
+    parallel_kernel2,
+    parallel_kernel3,
+    run_rank_programs,
+)
+
+SCALE = 7
+EDGE_FACTOR = 8
+N = 1 << SCALE
+BLOCK = 64
+
+
+def _serial_edges():
+    blocks = list(kronecker_blocks(SCALE, EDGE_FACTOR, block_edges=BLOCK,
+                                   seed=5))
+    u = np.concatenate([b[0] for b in blocks])
+    v = np.concatenate([b[1] for b in blocks])
+    return u, v
+
+
+class TestParallelKernel0:
+    @pytest.mark.parametrize("ranks", [1, 2, 3, 4])
+    def test_union_equals_serial_multiset(self, ranks):
+        def program(comm):
+            return parallel_kernel0(comm, SCALE, EDGE_FACTOR, seed=5,
+                                    block_edges=BLOCK)
+
+        shares = run_rank_programs(program, ranks)
+        par_u = np.concatenate([s[0] for s in shares])
+        par_v = np.concatenate([s[1] for s in shares])
+        ser_u, ser_v = _serial_edges()
+        assert np.array_equal(
+            np.sort(par_u * N + par_v), np.sort(ser_u * N + ser_v)
+        )
+
+    def test_no_communication(self):
+        from repro.parallel.traffic import TrafficLog
+
+        traffic = TrafficLog()
+
+        def program(comm):
+            return parallel_kernel0(comm, SCALE, EDGE_FACTOR, seed=5,
+                                    block_edges=BLOCK)
+
+        run_rank_programs(program, 4, traffic=traffic)
+        assert traffic.total_bytes == 0  # the paper's headline property
+
+
+class TestParallelKernel1:
+    @pytest.mark.parametrize("ranks", [2, 4])
+    def test_concatenated_blocks_globally_sorted(self, ranks):
+        ser_u, ser_v = _serial_edges()
+
+        def program(comm):
+            partition = RowPartition(num_vertices=N, size=comm.size)
+            per = len(ser_u) // comm.size
+            start = comm.rank * per
+            end = len(ser_u) if comm.rank == comm.size - 1 else start + per
+            return parallel_kernel1(
+                comm, partition, ser_u[start:end], ser_v[start:end]
+            )
+
+        blocks = run_rank_programs(program, ranks)
+        cat_u = np.concatenate([b[0] for b in blocks])
+        cat_v = np.concatenate([b[1] for b in blocks])
+        assert np.all(np.diff(cat_u) >= 0)  # globally sorted
+        assert np.array_equal(np.sort(cat_u), np.sort(ser_u))
+        assert np.array_equal(
+            np.sort(cat_u * N + cat_v), np.sort(ser_u * N + ser_v)
+        )
+
+    def test_each_rank_holds_its_range(self):
+        ser_u, ser_v = _serial_edges()
+
+        def program(comm):
+            partition = RowPartition(num_vertices=N, size=comm.size)
+            per = len(ser_u) // comm.size
+            start = comm.rank * per
+            end = len(ser_u) if comm.rank == comm.size - 1 else start + per
+            u, v = parallel_kernel1(
+                comm, partition, ser_u[start:end], ser_v[start:end]
+            )
+            lo, hi = partition.bounds(comm.rank)
+            assert len(u) == 0 or (u.min() >= lo and u.max() < hi)
+            return len(u)
+
+        counts = run_rank_programs(program, 3)
+        assert sum(counts) == len(ser_u)
+
+
+class TestFullDistributedPipeline:
+    @pytest.mark.parametrize("ranks", [2, 4])
+    def test_k0_through_k3_matches_serial(self, ranks):
+        from repro.backends.base import Backend
+        from repro.core.config import PipelineConfig
+        from repro.pagerank.benchmark import benchmark_pagerank
+        import scipy.sparse as sp
+
+        config = PipelineConfig(scale=SCALE, edge_factor=EDGE_FACTOR,
+                                seed=5, iterations=8)
+        r0 = Backend.initial_rank(config)
+
+        def program(comm):
+            partition = RowPartition(num_vertices=N, size=comm.size)
+            gen_u, gen_v = parallel_kernel0(
+                comm, SCALE, EDGE_FACTOR, seed=5, block_edges=BLOCK
+            )
+            sorted_u, sorted_v = parallel_kernel1(comm, partition, gen_u, gen_v)
+            matrix, _ = parallel_kernel2(comm, partition, sorted_u, sorted_v)
+            return parallel_kernel3(comm, matrix, r0, iterations=8)
+
+        ranks_out = run_rank_programs(program, ranks)
+
+        # Serial reference over the same (block-generated) edge stream.
+        ser_u, ser_v = _serial_edges()
+        counts = sp.coo_matrix(
+            (np.ones(len(ser_u)), (ser_u, ser_v)), shape=(N, N)
+        ).tocsr()
+        din = np.asarray(counts.sum(axis=0)).ravel()
+        eliminate = (din == din.max()) | (din == 1)
+        counts = (counts @ sp.diags((~eliminate).astype(float))).tocsr()
+        counts.eliminate_zeros()
+        dout = np.asarray(counts.sum(axis=1)).ravel()
+        inv = np.where(dout > 0, 1.0 / np.where(dout > 0, dout, 1.0), 1.0)
+        normalised = (sp.diags(inv) @ counts).tocsr()
+        reference = benchmark_pagerank(normalised, r0, iterations=8)
+
+        for rank_vector in ranks_out:
+            assert np.allclose(rank_vector, reference, atol=1e-12)

@@ -1,0 +1,88 @@
+"""Streaming (out-of-core) Kernel 2 vs the in-memory implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends.registry import get_backend
+from repro.core.config import PipelineConfig
+from repro.core.streaming import streaming_kernel2
+from repro.edgeio.dataset import EdgeDataset
+from repro.generators.kronecker import kronecker_edges
+
+
+@pytest.fixture(scope="module")
+def sorted_dataset(tmp_path_factory):
+    u, v = kronecker_edges(9, 16, seed=17)
+    base = tmp_path_factory.mktemp("streamk2")
+    raw = EdgeDataset.write(base / "raw", u, v, num_vertices=512,
+                            num_shards=4)
+    config = PipelineConfig(scale=9, seed=17)
+    backend = get_backend("scipy")
+    k1, _ = backend.kernel1(config, raw, base / "k1")
+    return k1
+
+
+class TestStreamingMatchesInMemory:
+    @pytest.mark.parametrize("batch_edges", [64, 500, 4096, 1 << 20])
+    def test_identical_matrix_at_any_batch_size(self, sorted_dataset, batch_edges):
+        config = PipelineConfig(scale=9, seed=17)
+        reference, _ = get_backend("scipy").kernel2(config, sorted_dataset)
+        result = streaming_kernel2(sorted_dataset, batch_edges=batch_edges)
+        difference = abs(result.matrix - reference.to_scipy_csr())
+        assert difference.nnz == 0 or difference.max() < 1e-15
+
+    def test_entry_total_is_m(self, sorted_dataset):
+        result = streaming_kernel2(sorted_dataset, batch_edges=300)
+        assert result.pre_filter_entry_total == sorted_dataset.num_edges
+
+    def test_batches_scale_with_budget(self, sorted_dataset):
+        small = streaming_kernel2(sorted_dataset, batch_edges=128)
+        large = streaming_kernel2(sorted_dataset, batch_edges=1 << 20)
+        assert small.batches > large.batches
+        # One input batch plus at most the carry-buffer flush.
+        assert large.batches <= 2
+
+    def test_eliminated_columns_match(self, sorted_dataset):
+        config = PipelineConfig(scale=9, seed=17)
+        _, details = get_backend("scipy").kernel2(config, sorted_dataset)
+        result = streaming_kernel2(sorted_dataset, batch_edges=200)
+        expected = details["supernode_columns"] + details["leaf_columns"]
+        assert result.eliminated_columns == expected
+
+
+class TestStreamingValidation:
+    def test_rejects_unsorted_input(self, tmp_path):
+        u = np.array([5, 1, 3], dtype=np.int64)
+        v = np.array([0, 0, 0], dtype=np.int64)
+        ds = EdgeDataset.write(tmp_path / "unsorted", u, v, num_vertices=8)
+        with pytest.raises(ValueError, match="sorted"):
+            streaming_kernel2(ds, batch_edges=2)
+
+    def test_empty_dataset(self, tmp_path):
+        empty = np.empty(0, dtype=np.int64)
+        ds = EdgeDataset.write(tmp_path / "empty", empty, empty,
+                               num_vertices=4)
+        result = streaming_kernel2(ds)
+        assert result.matrix.nnz == 0
+        assert result.pre_filter_entry_total == 0.0
+
+    def test_single_row_spanning_batches(self, tmp_path):
+        # Every edge shares one start vertex: the carry buffer holds the
+        # entire stream until the end.
+        u = np.zeros(100, dtype=np.int64)
+        v = np.tile(np.arange(10, dtype=np.int64), 10)
+        ds = EdgeDataset.write(tmp_path / "onerow", u, v, num_vertices=16)
+        result = streaming_kernel2(ds, batch_edges=7)
+        assert result.pre_filter_entry_total == 100.0
+
+    def test_scratch_cleanup(self, tmp_path, sorted_dataset):
+        scratch = tmp_path / "scratch"
+        streaming_kernel2(sorted_dataset, batch_edges=256,
+                          scratch_dir=scratch)
+        assert not (scratch / "dedup.bin").exists()
+
+    def test_batch_validation(self, sorted_dataset):
+        with pytest.raises(ValueError):
+            streaming_kernel2(sorted_dataset, batch_edges=0)

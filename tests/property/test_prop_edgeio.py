@@ -1,0 +1,109 @@
+"""Property-based tests for edge-file encoding and datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.edgeio.dataset import EdgeDataset, shard_slices
+from repro.edgeio.format import decode_edges, encode_edges
+
+labels = st.integers(min_value=0, max_value=2**40)
+
+
+@st.composite
+def edge_arrays(draw, max_edges=200):
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    u = draw(st.lists(labels, min_size=m, max_size=m))
+    v = draw(st.lists(labels, min_size=m, max_size=m))
+    return np.array(u, dtype=np.int64), np.array(v, dtype=np.int64)
+
+
+class TestFormatRoundTrip:
+    @given(edges=edge_arrays())
+    def test_encode_decode_identity(self, edges):
+        u, v = edges
+        ru, rv = decode_edges(encode_edges(u, v))
+        assert np.array_equal(u, ru)
+        assert np.array_equal(v, rv)
+
+    @given(edges=edge_arrays(), base=st.sampled_from([0, 1]))
+    def test_identity_under_vertex_base(self, edges, base):
+        u, v = edges
+        payload = encode_edges(u, v, vertex_base=base)
+        ru, rv = decode_edges(payload, vertex_base=base)
+        assert np.array_equal(u, ru)
+        assert np.array_equal(v, rv)
+
+    @given(edges=edge_arrays(max_edges=60))
+    def test_strict_equals_fast(self, edges):
+        u, v = edges
+        payload = encode_edges(u, v)
+        fast = decode_edges(payload)
+        strict = decode_edges(payload, strict=True)
+        assert np.array_equal(fast[0], strict[0])
+        assert np.array_equal(fast[1], strict[1])
+
+    @given(edges=edge_arrays(max_edges=50))
+    def test_line_count_matches_edges(self, edges):
+        u, v = edges
+        payload = encode_edges(u, v)
+        assert payload.count(b"\n") == len(u)
+
+
+class TestShardSlicesProperties:
+    @given(
+        m=st.integers(min_value=0, max_value=100000),
+        shards=st.integers(min_value=1, max_value=64),
+    )
+    def test_partition_properties(self, m, shards):
+        slices = shard_slices(m, shards)
+        assert len(slices) == shards
+        assert slices[0][0] == 0
+        assert slices[-1][1] == m
+        sizes = [end - start for start, end in slices]
+        assert sum(sizes) == m
+        assert max(sizes) - min(sizes) <= 1
+        for (_, prev_end), (next_start, _) in zip(slices, slices[1:]):
+            assert prev_end == next_start
+
+
+class TestDatasetRoundTrip:
+    @settings(deadline=None, max_examples=30)
+    @given(
+        edges=edge_arrays(max_edges=150),
+        shards=st.integers(min_value=1, max_value=6),
+        fmt=st.sampled_from(["tsv", "npy"]),
+    )
+    def test_write_open_read_identity(self, tmp_path_factory, edges, shards, fmt):
+        u, v = edges
+        n = int(max(u.max(initial=0), v.max(initial=0))) + 1
+        base = tmp_path_factory.mktemp("prop-ds")
+        EdgeDataset.write(base / "d", u, v, num_vertices=n,
+                          num_shards=shards, fmt=fmt)
+        ds = EdgeDataset.open(base / "d")
+        ru, rv = ds.read_all()
+        assert np.array_equal(u, ru)
+        assert np.array_equal(v, rv)
+        assert ds.num_edges == len(u)
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        edges=edge_arrays(max_edges=150),
+        batch=st.integers(min_value=1, max_value=64),
+    )
+    def test_iter_batches_reassembles(self, tmp_path_factory, edges, batch):
+        u, v = edges
+        n = int(max(u.max(initial=0), v.max(initial=0))) + 1
+        base = tmp_path_factory.mktemp("prop-batch")
+        ds = EdgeDataset.write(base / "d", u, v, num_vertices=n, num_shards=3)
+        batches = list(ds.iter_batches(batch))
+        if batches:
+            cat_u = np.concatenate([b[0] for b in batches])
+            cat_v = np.concatenate([b[1] for b in batches])
+        else:
+            cat_u = np.empty(0, dtype=np.int64)
+            cat_v = np.empty(0, dtype=np.int64)
+        assert np.array_equal(cat_u, u)
+        assert np.array_equal(cat_v, v)
+        assert all(len(b[0]) == batch for b in batches[:-1])

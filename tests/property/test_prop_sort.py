@@ -1,0 +1,105 @@
+"""Property-based tests for the sorting substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sort.inmemory import (
+    counting_sort_edges,
+    numpy_sort_edges,
+    radix_sort_edges,
+)
+
+N_MAX = 64
+
+
+@st.composite
+def edge_lists(draw, max_edges=300, num_vertices=N_MAX):
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    u = draw(
+        st.lists(st.integers(0, num_vertices - 1), min_size=m, max_size=m)
+    )
+    v = draw(
+        st.lists(st.integers(0, num_vertices - 1), min_size=m, max_size=m)
+    )
+    return np.array(u, dtype=np.int64), np.array(v, dtype=np.int64)
+
+
+class TestSortProperties:
+    @given(edges=edge_lists())
+    def test_output_sorted_all_algorithms(self, edges):
+        u, v = edges
+        for sorted_u, _ in (
+            numpy_sort_edges(u, v),
+            counting_sort_edges(u, v, num_vertices=N_MAX),
+            radix_sort_edges(u, v),
+        ):
+            assert np.all(np.diff(sorted_u) >= 0)
+
+    @given(edges=edge_lists())
+    def test_permutation_property(self, edges):
+        u, v = edges
+        key_before = np.sort(u * N_MAX + v)
+        for sorted_u, sorted_v in (
+            numpy_sort_edges(u, v),
+            counting_sort_edges(u, v, num_vertices=N_MAX),
+            radix_sort_edges(u, v),
+        ):
+            key_after = np.sort(sorted_u * N_MAX + sorted_v)
+            assert np.array_equal(key_before, key_after)
+
+    @given(edges=edge_lists())
+    def test_algorithms_agree_exactly(self, edges):
+        # All three sorts are stable, so full (u, v) streams must match.
+        u, v = edges
+        ref_u, ref_v = numpy_sort_edges(u, v)
+        for sorted_u, sorted_v in (
+            counting_sort_edges(u, v, num_vertices=N_MAX),
+            radix_sort_edges(u, v),
+        ):
+            assert np.array_equal(sorted_u, ref_u)
+            assert np.array_equal(sorted_v, ref_v)
+
+    @given(edges=edge_lists())
+    def test_idempotent(self, edges):
+        u, v = edges
+        once_u, once_v = numpy_sort_edges(u, v)
+        twice_u, twice_v = numpy_sort_edges(once_u, once_v)
+        assert np.array_equal(once_u, twice_u)
+        assert np.array_equal(once_v, twice_v)
+
+    @given(edges=edge_lists())
+    def test_lexicographic_mode(self, edges):
+        u, v = edges
+        su, sv = numpy_sort_edges(u, v, by_end_vertex=True)
+        keys = su * N_MAX + sv
+        assert np.all(np.diff(keys) >= 0)
+
+
+class TestExternalSortProperty:
+    @settings(deadline=None, max_examples=25)
+    @given(
+        edges=edge_lists(max_edges=500),
+        batch=st.integers(min_value=7, max_value=100),
+        shards=st.integers(min_value=1, max_value=5),
+    )
+    def test_external_equals_in_memory(self, tmp_path_factory, edges, batch, shards):
+        from repro.edgeio.dataset import EdgeDataset
+        from repro.sort.external import ExternalSortConfig, external_sort_dataset
+
+        u, v = edges
+        base = tmp_path_factory.mktemp("prop-extsort")
+        ds = EdgeDataset.write(base / "in", u, v, num_vertices=N_MAX,
+                               num_shards=shards)
+        out = external_sort_dataset(
+            ds, base / "out",
+            config=ExternalSortConfig(batch_edges=batch, fan_in=3,
+                                      merge_block_edges=16),
+        )
+        su, sv = out.read_all()
+        ref_u, _ = numpy_sort_edges(u, v)
+        assert np.array_equal(su, ref_u)
+        assert np.array_equal(np.sort(su * N_MAX + sv),
+                              np.sort(u * N_MAX + v))

@@ -1,0 +1,143 @@
+"""Unit tests for the repro-pipeline CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli.main import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.scale == 12
+        assert args.backend == "scipy"
+
+    def test_sweep_csv_parsing(self):
+        args = build_parser().parse_args(
+            ["sweep", "--scales", "6,8", "--backends", "scipy,numpy"]
+        )
+        assert args.scales == [6, 8]
+        assert args.backends == ["scipy", "numpy"]
+
+    def test_bad_scales_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--scales", "a,b"])
+
+    def test_figures_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figures", "--id", "fig9"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "backends:" in out and "kronecker" in out
+
+    def test_tables_table2(self, capsys):
+        assert main(["tables", "--id", "table2", "--scales", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "65K" in out
+
+    def test_tables_table1(self, capsys):
+        assert main(["tables", "--id", "table1"]) == 0
+        assert "graphblas" in capsys.readouterr().out
+
+    def test_run_small(self, capsys):
+        assert main(["run", "--scale", "6", "--backend", "numpy"]) == 0
+        out = capsys.readouterr().out
+        assert "k3-pagerank" in out
+
+    def test_run_json_output(self, capsys):
+        assert main(["run", "--scale", "6", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["config"]["scale"] == 6
+        assert len(doc["kernels"]) == 4
+
+    def test_run_with_validation(self, capsys):
+        code = main(["run", "--scale", "6", "--validate"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "validation: PASS" in out
+
+    def test_run_keeps_files_in_data_dir(self, tmp_path, capsys):
+        assert main(["run", "--scale", "6", "--data-dir", str(tmp_path)]) == 0
+        assert (tmp_path / "k0" / "manifest.json").exists()
+        assert (tmp_path / "k1" / "manifest.json").exists()
+
+    def test_validate_command(self, capsys):
+        assert main(["validate", "--scale", "6", "--backend", "scipy"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_parallel_command(self, capsys):
+        assert main(["parallel", "--scale", "7", "--ranks", "2",
+                     "--iterations", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "traffic" in out and "allreduce" in out
+
+    def test_figures_command_small(self, capsys, tmp_path):
+        out_file = tmp_path / "records.json"
+        code = main([
+            "figures", "--id", "fig6", "--scales", "6",
+            "--backends", "scipy", "--output", str(out_file),
+        ])
+        assert code == 0
+        assert out_file.exists()
+        assert "Figure 6" in capsys.readouterr().out
+
+    def test_sweep_command_small(self, capsys, tmp_path):
+        out_file = tmp_path / "sweep.csv"
+        code = main([
+            "sweep", "--scales", "6", "--backends", "numpy",
+            "--output", str(out_file),
+        ])
+        assert code == 0
+        assert out_file.exists()
+
+    def test_unknown_backend_exits_2(self, capsys):
+        assert main(["run", "--scale", "6", "--backend", "fortran"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_golden_save_and_check(self, tmp_path, capsys):
+        golden_file = tmp_path / "golden.json"
+        assert main(["golden", "--scale", "6", "--save", str(golden_file)]) == 0
+        assert golden_file.exists()
+        assert main(["golden", "--scale", "6", "--check", str(golden_file)]) == 0
+        assert "matches" in capsys.readouterr().out
+
+    def test_golden_check_detects_mismatch(self, tmp_path, capsys):
+        golden_file = tmp_path / "golden.json"
+        assert main(["golden", "--scale", "6", "--seed", "1",
+                     "--save", str(golden_file)]) == 0
+        code = main(["golden", "--scale", "6", "--seed", "2",
+                     "--check", str(golden_file)])
+        assert code == 1
+        assert "MISMATCH" in capsys.readouterr().out
+
+    def test_golden_prints_json_by_default(self, capsys):
+        assert main(["golden", "--scale", "6"]) == 0
+        out = capsys.readouterr().out
+        assert '"k1_num_edges"' in out
+
+    def test_report_command(self, tmp_path, capsys):
+        out_file = tmp_path / "report.md"
+        code = main(["report", "--scales", "6", "--backends", "scipy",
+                     "--output", str(out_file)])
+        assert code == 0
+        document = out_file.read_text()
+        assert "Figure 7" in document and "Table II" in document
+
+    def test_predict_command(self, capsys):
+        code = main(["predict", "--calibration-scale", "6",
+                     "--scales", "6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "worst error factor" in out
+        assert "k3-pagerank" in out

@@ -1,0 +1,71 @@
+"""Unit tests for KernelResult / PipelineResult."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import KernelName, PipelineConfig
+from repro.core.results import KernelResult, PipelineResult
+
+
+class TestKernelResult:
+    def test_edges_per_second(self):
+        result = KernelResult(KernelName.K1_SORT, seconds=2.0,
+                              edges_processed=100)
+        assert result.edges_per_second == 50.0
+
+    def test_zero_time_gives_inf(self):
+        result = KernelResult(KernelName.K1_SORT, seconds=0.0,
+                              edges_processed=100)
+        assert result.edges_per_second == float("inf")
+
+    def test_to_dict_json_safe(self):
+        result = KernelResult(
+            KernelName.K2_FILTER, seconds=1.0, edges_processed=10,
+            details={"nnz": np.int64(5), "ratio": np.float64(0.5),
+                     "flags": np.array([1, 2])},
+        )
+        doc = result.to_dict()
+        json.dumps(doc)  # must not raise
+        assert doc["details"]["nnz"] == 5
+        assert doc["details"]["flags"] == [1, 2]
+
+
+class TestPipelineResult:
+    @pytest.fixture
+    def result(self):
+        config = PipelineConfig(scale=6)
+        res = PipelineResult(config=config)
+        res.kernels = [
+            KernelResult(KernelName.K0_GENERATE, 1.0, 64, officially_timed=False),
+            KernelResult(KernelName.K1_SORT, 2.0, 64),
+            KernelResult(KernelName.K2_FILTER, 3.0, 64),
+            KernelResult(KernelName.K3_PAGERANK, 4.0, 64 * 20),
+        ]
+        res.rank = np.array([0.5, 0.25, 0.25])
+        return res
+
+    def test_kernel_lookup(self, result):
+        assert result.kernel(KernelName.K1_SORT).seconds == 2.0
+
+    def test_kernel_lookup_missing(self, result):
+        result.kernels = result.kernels[:1]
+        with pytest.raises(KeyError):
+            result.kernel(KernelName.K3_PAGERANK)
+
+    def test_total_vs_benchmark_seconds(self, result):
+        assert result.total_seconds == 10.0
+        assert result.benchmark_seconds == 9.0  # K0 excluded
+
+    def test_to_dict_summarises_rank(self, result):
+        doc = result.to_dict()
+        assert doc["rank_summary"]["size"] == 3
+        assert doc["rank_summary"]["argmax"] == 0
+        json.dumps(doc)
+
+    def test_to_json_round_trips_config(self, result):
+        doc = json.loads(result.to_json())
+        assert doc["config"]["scale"] == 6

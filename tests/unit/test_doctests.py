@@ -1,0 +1,36 @@
+"""Run every docstring example in the library as a test.
+
+Docstring examples are API documentation; if they drift from the code
+they are worse than no examples.  This test walks all ``repro``
+submodules and executes their doctests.
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_modules():
+    names = ["repro"]
+    for module_info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(module_info.name)
+    return sorted(names)
+
+
+@pytest.mark.parametrize("module_name", _all_modules())
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(
+        module,
+        optionflags=doctest.NORMALIZE_WHITESPACE | doctest.ELLIPSIS,
+        verbose=False,
+    )
+    assert results.failed == 0, (
+        f"{results.failed} doctest failure(s) in {module_name}"
+    )

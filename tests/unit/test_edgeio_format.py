@@ -1,0 +1,88 @@
+"""Unit tests for the TSV edge format."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.edgeio.errors import CorruptEdgeFileError
+from repro.edgeio.format import decode_edges, encode_edges, parse_edge_line
+
+
+class TestEncode:
+    def test_basic_layout(self):
+        payload = encode_edges(np.array([0, 2]), np.array([1, 0]))
+        assert payload == b"0\t1\n2\t0\n"
+
+    def test_empty(self):
+        assert encode_edges(np.array([], dtype=np.int64),
+                            np.array([], dtype=np.int64)) == b""
+
+    def test_vertex_base_one(self):
+        payload = encode_edges(np.array([0]), np.array([1]), vertex_base=1)
+        assert payload == b"1\t2\n"
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            encode_edges(np.array([1]), np.array([1, 2]))
+
+    def test_large_labels(self):
+        big = np.array([2**40], dtype=np.int64)
+        payload = encode_edges(big, big)
+        assert payload == f"{2**40}\t{2**40}\n".encode()
+
+
+class TestDecode:
+    def test_round_trip(self):
+        u = np.array([5, 0, 63, 17], dtype=np.int64)
+        v = np.array([2, 61, 0, 17], dtype=np.int64)
+        ru, rv = decode_edges(encode_edges(u, v))
+        assert np.array_equal(u, ru) and np.array_equal(v, rv)
+
+    def test_round_trip_with_base(self):
+        u = np.array([0, 3], dtype=np.int64)
+        v = np.array([1, 2], dtype=np.int64)
+        payload = encode_edges(u, v, vertex_base=1)
+        ru, rv = decode_edges(payload, vertex_base=1)
+        assert np.array_equal(u, ru) and np.array_equal(v, rv)
+
+    def test_empty_and_whitespace_only(self):
+        for payload in (b"", b"\n\n", b"  \n"):
+            u, v = decode_edges(payload)
+            assert len(u) == 0 and len(v) == 0
+
+    def test_odd_token_count_raises(self):
+        with pytest.raises(CorruptEdgeFileError, match="odd number"):
+            decode_edges(b"1\t2\n3\n")
+
+    def test_non_integer_raises(self):
+        with pytest.raises(CorruptEdgeFileError, match="non-integer"):
+            decode_edges(b"1\tabc\n")
+
+    def test_strict_reports_line_number(self):
+        with pytest.raises(CorruptEdgeFileError, match="line 2"):
+            decode_edges(b"1\t2\nbroken\n", strict=True)
+
+    def test_strict_skips_blank_lines(self):
+        u, v = decode_edges(b"1\t2\n\n3\t4\n", strict=True)
+        assert np.array_equal(u, [1, 3])
+
+    def test_strict_and_fast_agree(self):
+        payload = b"10\t20\n30\t40\n50\t60\n"
+        fast = decode_edges(payload)
+        strict = decode_edges(payload, strict=True)
+        assert np.array_equal(fast[0], strict[0])
+        assert np.array_equal(fast[1], strict[1])
+
+
+class TestParseEdgeLine:
+    def test_valid(self):
+        assert parse_edge_line(b"12\t34") == (12, 34)
+
+    def test_wrong_field_count(self):
+        with pytest.raises(CorruptEdgeFileError, match="expected 2 fields"):
+            parse_edge_line(b"1\t2\t3", lineno=7)
+
+    def test_non_integer(self):
+        with pytest.raises(CorruptEdgeFileError, match="non-integer"):
+            parse_edge_line(b"x\ty")

@@ -1,0 +1,186 @@
+"""Unit tests for BTER, PPL, simple generators, degree analysis, registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generators.base import validate_edge_list
+from repro.generators.bter import BTERParams, bter_edges
+from repro.generators.degree import (
+    degree_histogram,
+    in_degrees,
+    out_degrees,
+    power_law_exponent,
+)
+from repro.generators.ppl import PPLParams, ppl_degree_sequence, ppl_edges
+from repro.generators.registry import available_generators, get_generator
+from repro.generators.simple import (
+    bernoulli_edges,
+    complete_graph_edges,
+    erdos_renyi_edges,
+    path_graph_edges,
+    ring_graph_edges,
+    self_loop_edges,
+    star_graph_edges,
+)
+
+
+class TestPPL:
+    def test_degree_sequence_length_and_order(self):
+        seq = ppl_degree_sequence(500, exponent=1.8)
+        assert len(seq) == 500
+        assert np.all(np.diff(seq) <= 0)  # descending
+
+    def test_histogram_is_power_law_shaped(self):
+        seq = ppl_degree_sequence(2000, exponent=2.0, max_degree=50)
+        values, counts = degree_histogram(seq[seq > 0])
+        # Counts must be non-increasing in degree for a power law.
+        assert counts[0] == counts.max()
+        assert counts[-1] <= counts[0]
+
+    def test_edges_realise_out_degrees_exactly(self):
+        degrees = np.array([3, 2, 0, 1], dtype=np.int64)
+        u, v = ppl_edges(4, degrees=degrees, seed=1)
+        assert len(u) == 6
+        assert np.array_equal(np.bincount(u, minlength=4), degrees)
+        # In-degrees are a permutation of the same stub multiset.
+        assert np.bincount(v, minlength=4).sum() == 6
+
+    def test_rejects_negative_degrees(self):
+        with pytest.raises(ValueError):
+            ppl_edges(3, degrees=np.array([1, -1, 0]))
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError, match="length"):
+            ppl_edges(3, degrees=np.array([1, 1]))
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            PPLParams(exponent=0.9)
+        with pytest.raises(ValueError):
+            PPLParams(max_degree=0)
+
+
+class TestBTER:
+    def test_bounds_and_reproducibility(self):
+        u1, v1 = bter_edges(128, seed=5)
+        u2, v2 = bter_edges(128, seed=5)
+        validate_edge_list(u1, v1, 128)
+        assert np.array_equal(u1, u2) and np.array_equal(v1, v2)
+
+    def test_edge_count_tracks_degree_budget(self):
+        degrees = np.full(64, 4, dtype=np.int64)
+        u, _ = bter_edges(64, degrees=degrees, seed=1)
+        # Phase-1 sampling is stochastic; total should be within 2x.
+        assert 0.5 * degrees.sum() <= len(u) <= 2.0 * degrees.sum()
+
+    def test_community_structure_exists(self):
+        # With rho=1 affinity blocks become cliques: the densest block
+        # must be far denser than the global edge density.
+        degrees = np.full(60, 5, dtype=np.int64)
+        u, v = bter_edges(60, degrees=degrees, seed=2,
+                          params=BTERParams(rho=1.0))
+        dense = np.zeros((60, 60))
+        np.add.at(dense, (u, v), 1.0)
+        block = dense[:6, :6]  # first affinity block (degree 5 + 1)
+        off_block = dense[:6, 6:]
+        assert block.sum() > off_block.sum()
+
+    def test_rejects_tiny_graph(self):
+        with pytest.raises(ValueError):
+            bter_edges(1)
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            BTERParams(rho=0.0)
+        with pytest.raises(ValueError):
+            BTERParams(exponent=1.0)
+
+
+class TestSimpleGenerators:
+    def test_path(self):
+        u, v = path_graph_edges(5)
+        assert np.array_equal(u, [0, 1, 2, 3])
+        assert np.array_equal(v, [1, 2, 3, 4])
+
+    def test_path_single_vertex_is_empty(self):
+        u, v = path_graph_edges(1)
+        assert len(u) == 0
+
+    def test_ring_closes(self):
+        u, v = ring_graph_edges(4)
+        assert np.array_equal(v, [1, 2, 3, 0])
+
+    def test_star_all_point_to_hub(self):
+        u, v = star_graph_edges(5)
+        assert np.all(v == 0)
+        assert np.array_equal(np.sort(u), [1, 2, 3, 4])
+
+    def test_complete_counts(self):
+        u, v = complete_graph_edges(4)
+        assert len(u) == 12  # n*(n-1)
+        u2, _ = complete_graph_edges(4, include_self_loops=True)
+        assert len(u2) == 16
+
+    def test_self_loops(self):
+        u, v = self_loop_edges(3)
+        assert np.array_equal(u, v)
+
+    def test_erdos_renyi_multigraph(self):
+        u, v = erdos_renyi_edges(10, 50, seed=1)
+        assert len(u) == 50
+        validate_edge_list(u, v, 10)
+
+    def test_bernoulli_density(self):
+        u, _ = bernoulli_edges(50, 0.5, seed=1)
+        expected = 0.5 * 50 * 49
+        assert 0.7 * expected < len(u) < 1.3 * expected
+
+    def test_bernoulli_no_self_loops(self):
+        u, v = bernoulli_edges(20, 1.0, seed=1)
+        assert np.all(u != v)
+
+
+class TestDegreeAnalysis:
+    def test_in_out_degrees(self):
+        u = np.array([0, 0, 1], dtype=np.int64)
+        v = np.array([1, 1, 2], dtype=np.int64)
+        assert np.array_equal(out_degrees(u, v, 3), [2, 1, 0])
+        assert np.array_equal(in_degrees(u, v, 3), [0, 2, 1])
+
+    def test_histogram(self):
+        values, counts = degree_histogram(np.array([1, 1, 2, 5]))
+        assert np.array_equal(values, [1, 2, 5])
+        assert np.array_equal(counts, [2, 1, 1])
+
+    def test_histogram_empty(self):
+        values, counts = degree_histogram(np.array([]))
+        assert len(values) == 0 and len(counts) == 0
+
+    def test_power_law_exponent_recovers_alpha(self, rng):
+        # Pareto(1.5) has density exponent alpha = 2.5; estimate in the
+        # tail (d >= 10) where integer discretisation is negligible.
+        degrees = np.floor(rng.pareto(1.5, size=200000) + 1).astype(int)
+        alpha = power_law_exponent(degrees, d_min=10)
+        assert 2.3 < alpha < 2.7
+
+    def test_power_law_exponent_degenerate(self):
+        assert np.isnan(power_law_exponent(np.array([1])))
+
+
+class TestRegistry:
+    def test_lists_all(self):
+        names = set(available_generators())
+        assert {"kronecker", "erdos-renyi", "bter", "ppl", "ring"} <= names
+
+    @pytest.mark.parametrize("name", ["kronecker", "erdos-renyi", "bter", "ppl", "ring"])
+    def test_each_generator_runs(self, name):
+        fn = get_generator(name)
+        u, v = fn(6, 4, seed=1)
+        validate_edge_list(u, v, 64)
+        assert len(u) > 0
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="available"):
+            get_generator("nope")

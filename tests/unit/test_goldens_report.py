@@ -1,0 +1,110 @@
+"""Unit tests for golden records and the report generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.harness.goldens import GoldenRecord, golden_for_config
+from repro.harness.report import build_report
+from repro.harness.sweep import SweepPlan, run_sweep
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return golden_for_config(PipelineConfig(scale=6, seed=9, backend="scipy"))
+
+
+class TestGoldenRecord:
+    def test_reproducible_for_config(self, golden):
+        again = golden_for_config(PipelineConfig(scale=6, seed=9,
+                                                 backend="scipy"))
+        assert golden.matches(again)
+
+    def test_backend_independent(self, golden):
+        for backend in ("numpy", "graphblas", "dataframe"):
+            other = golden_for_config(
+                PipelineConfig(scale=6, seed=9, backend=backend)
+            )
+            assert golden.matches(other), (backend, golden.differences(other))
+
+    def test_detects_different_seed(self, golden):
+        other = golden_for_config(PipelineConfig(scale=6, seed=10,
+                                                 backend="scipy"))
+        assert not golden.matches(other)
+        assert any("crc" in d or "digest" in d for d in golden.differences(other))
+
+    def test_json_round_trip(self, golden, tmp_path):
+        path = tmp_path / "golden.json"
+        golden.save(path)
+        restored = GoldenRecord.load(path)
+        assert golden.matches(restored)
+        assert restored.k1_num_edges == golden.k1_num_edges
+
+    def test_histograms_nonempty(self, golden):
+        assert golden.k2_out_degree_histogram
+        assert golden.k2_in_degree_histogram
+        total_rows = sum(golden.k2_out_degree_histogram.values())
+        assert total_rows > 0
+
+    def test_top_vertices_sorted_by_rank(self, golden):
+        assert len(golden.k3_top_vertices) == 10
+        assert len(set(golden.k3_top_vertices)) == 10
+
+    def test_differences_names_fields(self, golden):
+        import dataclasses
+
+        tweaked = dataclasses.replace(golden, k2_nnz=golden.k2_nnz + 1)
+        diffs = golden.differences(tweaked)
+        assert diffs and "k2_nnz" in diffs[0]
+
+    def test_float_tolerance_in_matches(self, golden):
+        import dataclasses
+
+        tweaked = dataclasses.replace(
+            golden, k3_rank_sum=golden.k3_rank_sum + 1e-12
+        )
+        assert golden.matches(tweaked)
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def records(self):
+        plan = SweepPlan(scales=[6], backends=["python", "scipy"], seed=4)
+        return run_sweep(plan)
+
+    def test_contains_all_sections(self, records):
+        document = build_report(records)
+        for heading in ("Table I", "Table II", "Figure 4", "Figure 5",
+                        "Figure 6", "Figure 7", "Officially timed totals"):
+            assert heading in document
+
+    def test_shape_checks_rendered(self, records):
+        document = build_report(records)
+        assert "Paper-shape checks" in document
+        assert "[PASS]" in document or "[FAIL]" in document
+
+    def test_totals_table_rows(self, records):
+        document = build_report(records)
+        assert "| python | 6 |" in document
+        assert "| scipy | 6 |" in document
+
+    def test_without_tables(self, records):
+        document = build_report(records, include_tables=False)
+        assert "Table II" not in document
+        assert "Figure 7" in document
+
+    def test_claims_fail_detection(self):
+        # Synthetic records where python is *fastest* must FAIL the
+        # "interpreted at the bottom" claim.
+        from repro.harness.records import MeasurementRecord
+
+        fake = [
+            MeasurementRecord("python", 6, 1024, "k3-pagerank", 0.001,
+                              1e9, True),
+            MeasurementRecord("scipy", 6, 1024, "k3-pagerank", 1.0,
+                              1e3, True),
+        ]
+        document = build_report(fake, include_tables=False)
+        assert "[FAIL] interpreted implementation" in document

@@ -1,0 +1,215 @@
+"""Unit tests for GraphBLAS-lite mxm, element-wise ops, and algorithms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.grb import (
+    Matrix,
+    MIN_PLUS,
+    PLUS_TIMES,
+    apply_mask,
+    bfs_levels,
+    connected_components,
+    ewise_add,
+    ewise_mult,
+    mxm,
+    pagerank_grb,
+    triangle_count,
+)
+
+
+def _random_matrix(rng, n=8, density=0.3):
+    dense = (rng.random((n, n)) < density) * rng.integers(1, 5, (n, n))
+    return Matrix.from_dense(dense.astype(float)), dense.astype(float)
+
+
+class TestMxm:
+    def test_matches_dense_product(self, rng):
+        a, da = _random_matrix(rng)
+        b, db = _random_matrix(rng)
+        assert np.allclose(mxm(a, b).to_dense(), da @ db)
+
+    def test_identity(self):
+        eye = Matrix.from_dense(np.eye(4))
+        a = Matrix.from_dense(np.arange(16.0).reshape(4, 4) % 3)
+        assert mxm(a, eye).isclose(a.prune())
+        assert mxm(eye, a).isclose(a.prune())
+
+    def test_empty_operands(self):
+        empty = Matrix.empty(3, 3)
+        a = Matrix.from_dense(np.ones((3, 3)))
+        assert mxm(empty, a).nvals == 0
+        assert mxm(a, empty).nvals == 0
+
+    def test_rectangular(self, rng):
+        da = (rng.random((3, 5)) < 0.5).astype(float)
+        db = (rng.random((5, 2)) < 0.5).astype(float)
+        product = mxm(Matrix.from_dense(da), Matrix.from_dense(db))
+        assert product.shape == (3, 2)
+        assert np.allclose(product.to_dense(), da @ db)
+
+    def test_dimension_mismatch(self):
+        a = Matrix.empty(2, 3)
+        b = Matrix.empty(2, 3)
+        with pytest.raises(ValueError, match="inner dimensions"):
+            mxm(a, b)
+
+    def test_min_plus_two_hop_distances(self):
+        # Weighted path 0 -2-> 1 -3-> 2; min-plus square gives 0->2 = 5.
+        w = Matrix.from_dense(
+            np.array([[0.0, 2.0, 0.0], [0.0, 0.0, 3.0], [0.0, 0.0, 0.0]])
+        )
+        two_hop = mxm(w, w, MIN_PLUS)
+        assert two_hop.to_dense()[0, 2] == 5.0
+
+
+class TestEwise:
+    def test_mult_intersection(self):
+        a = Matrix.from_dense(np.array([[1.0, 2.0], [0.0, 3.0]]))
+        b = Matrix.from_dense(np.array([[5.0, 0.0], [7.0, 2.0]]))
+        out = ewise_mult(a, b)
+        assert np.allclose(out.to_dense(), [[5.0, 0.0], [0.0, 6.0]])
+        assert out.nvals == 2
+
+    def test_add_union(self):
+        a = Matrix.from_dense(np.array([[1.0, 0.0], [0.0, 3.0]]))
+        b = Matrix.from_dense(np.array([[0.0, 2.0], [0.0, 4.0]]))
+        out = ewise_add(a, b)
+        assert np.allclose(out.to_dense(), [[1.0, 2.0], [0.0, 7.0]])
+
+    def test_add_custom_op(self):
+        a = Matrix.from_dense(np.array([[2.0]]))
+        b = Matrix.from_dense(np.array([[5.0]]))
+        out = ewise_add(a, b, op=np.maximum)
+        assert out.to_dense()[0, 0] == 5.0
+
+    def test_mult_disjoint_patterns_empty(self):
+        a = Matrix.from_dense(np.array([[1.0, 0.0], [0.0, 0.0]]))
+        b = Matrix.from_dense(np.array([[0.0, 1.0], [0.0, 0.0]]))
+        assert ewise_mult(a, b).nvals == 0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            ewise_add(Matrix.empty(2, 2), Matrix.empty(3, 3))
+
+
+class TestMask:
+    def test_structural_mask(self):
+        a = Matrix.from_dense(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        mask = Matrix.from_dense(np.array([[1.0, 0.0], [0.0, 1.0]]))
+        kept = apply_mask(a, mask)
+        assert np.allclose(kept.to_dense(), [[1.0, 0.0], [0.0, 4.0]])
+
+    def test_complement_mask(self):
+        a = Matrix.from_dense(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        mask = Matrix.from_dense(np.array([[1.0, 0.0], [0.0, 1.0]]))
+        dropped = apply_mask(a, mask, complement=True)
+        assert np.allclose(dropped.to_dense(), [[0.0, 2.0], [3.0, 0.0]])
+
+
+class TestBfs:
+    def test_path_levels(self):
+        path = Matrix.from_dense(
+            np.array([[0.0, 1.0, 0.0], [0.0, 0.0, 1.0], [0.0, 0.0, 0.0]])
+        )
+        assert bfs_levels(path, 0).tolist() == [0, 1, 2]
+
+    def test_unreachable_marked(self):
+        disconnected = Matrix.from_dense(
+            np.array([[0.0, 1.0, 0.0], [0.0, 0.0, 0.0], [0.0, 0.0, 0.0]])
+        )
+        assert bfs_levels(disconnected, 0).tolist() == [0, 1, -1]
+
+    def test_matches_networkx(self, rng):
+        nx = pytest.importorskip("networkx")
+        g = nx.gnp_random_graph(30, 0.12, seed=7, directed=True)
+        u = np.array([e[0] for e in g.edges()], dtype=np.int64)
+        v = np.array([e[1] for e in g.edges()], dtype=np.int64)
+        a = Matrix.build(u, v, nrows=30, ncols=30)
+        levels = bfs_levels(a, 0)
+        expected = nx.single_source_shortest_path_length(g, 0)
+        for node in range(30):
+            assert levels[node] == expected.get(node, -1)
+
+    def test_source_validation(self):
+        a = Matrix.empty(3, 3)
+        with pytest.raises(ValueError, match="source"):
+            bfs_levels(a, 5)
+
+
+class TestTriangles:
+    def test_single_triangle(self):
+        tri = Matrix.from_dense(np.array(
+            [[0.0, 1.0, 1.0], [1.0, 0.0, 1.0], [1.0, 1.0, 0.0]]
+        ))
+        assert triangle_count(tri) == 1
+
+    def test_directed_edges_symmetrised(self):
+        # One directed cycle 0->1->2->0 forms one undirected triangle.
+        cyc = Matrix.from_dense(np.array(
+            [[0.0, 1.0, 0.0], [0.0, 0.0, 1.0], [1.0, 0.0, 0.0]]
+        ))
+        assert triangle_count(cyc) == 1
+
+    def test_self_loops_ignored(self):
+        loops = Matrix.from_dense(np.diag([1.0, 1.0, 1.0]))
+        assert triangle_count(loops) == 0
+
+    def test_matches_networkx(self, rng):
+        nx = pytest.importorskip("networkx")
+        g = nx.gnp_random_graph(25, 0.25, seed=11, directed=True)
+        u = np.array([e[0] for e in g.edges()], dtype=np.int64)
+        v = np.array([e[1] for e in g.edges()], dtype=np.int64)
+        a = Matrix.build(u, v, nrows=25, ncols=25)
+        expected = sum(nx.triangles(g.to_undirected()).values()) // 3
+        assert triangle_count(a) == expected
+
+
+class TestComponents:
+    def test_two_islands(self):
+        a = Matrix.from_dense(np.array(
+            [[0.0, 1.0, 0.0, 0.0],
+             [0.0, 0.0, 0.0, 0.0],
+             [0.0, 0.0, 0.0, 1.0],
+             [0.0, 0.0, 0.0, 0.0]]
+        ))
+        labels = connected_components(a)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_matches_networkx(self, rng):
+        nx = pytest.importorskip("networkx")
+        g = nx.gnp_random_graph(40, 0.05, seed=5, directed=True)
+        u = np.array([e[0] for e in g.edges()], dtype=np.int64)
+        v = np.array([e[1] for e in g.edges()], dtype=np.int64)
+        a = Matrix.build(u, v, nrows=40, ncols=40) if len(u) else Matrix.empty(40, 40)
+        labels = connected_components(a)
+        expected = list(nx.weakly_connected_components(g))
+        assert len(set(labels.tolist())) == len(expected)
+        for component in expected:
+            component_labels = {labels[x] for x in component}
+            assert len(component_labels) == 1
+
+
+class TestPagerankGrb:
+    def test_matches_backend(self, rng, tmp_path):
+        from repro.backends.registry import get_backend
+        from repro.core.config import PipelineConfig
+        from repro.edgeio.dataset import EdgeDataset
+
+        u = rng.integers(0, 32, 200).astype(np.int64)
+        v = rng.integers(0, 32, 200).astype(np.int64)
+        ds = EdgeDataset.write(tmp_path / "d", u, v, num_vertices=32)
+        config = PipelineConfig(scale=5, seed=2, iterations=10)
+        backend = get_backend("graphblas")
+        handle, _ = backend.kernel2(config, ds)
+        expected, _ = backend.kernel3(config, handle)
+        got, mass = pagerank_grb(
+            handle.matrix, iterations=10,
+            initial_rank=backend.initial_rank(config),
+        )
+        assert np.allclose(got, expected, atol=1e-12)
+        assert mass == pytest.approx(got.sum())

@@ -1,0 +1,204 @@
+"""Unit tests for the harness: records, sloc, tables, figures, sweeps."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import KernelName, PipelineConfig
+from repro.core.pipeline import run_pipeline
+from repro.harness.experiments import available_experiments, run_experiment
+from repro.harness.figures import build_figure_series, render_figure
+from repro.harness.records import (
+    MeasurementRecord,
+    by_backend,
+    kernel_records,
+    load_records,
+    save_records,
+)
+from repro.harness.sloc import backend_sloc_table, count_sloc
+from repro.harness.sweep import SweepPlan, run_sweep
+from repro.harness.tables import (
+    PAPER_TABLE1,
+    render_run_sizes,
+    render_sloc,
+    render_table,
+    run_sizes_rows,
+)
+
+
+class TestSloc:
+    def test_counts_code_only(self):
+        source = (
+            '"""Module docstring."""\n'
+            "\n"
+            "# a comment\n"
+            "x = 1\n"
+            "\n"
+            "def f():\n"
+            '    """Doc."""\n'
+            "    return x  # trailing comment counts as code\n"
+        )
+        assert count_sloc(source) == 3  # x=1, def f, return x
+
+    def test_multiline_docstring_excluded(self):
+        source = 'def f():\n    """Line1\n    Line2\n    """\n    return 1\n'
+        assert count_sloc(source) == 2
+
+    def test_empty_source(self):
+        assert count_sloc("") == 0
+
+    def test_backend_table_covers_all(self):
+        table = backend_sloc_table()
+        assert set(table) == {"python", "numpy", "scipy", "dataframe",
+                              "graphblas"}
+        assert all(count > 50 for count in table.values())
+
+    def test_pure_python_largest(self):
+        # The lowest-level implementation needs the most lines — the
+        # paper's C++ row, transposed into our backend set.
+        table = backend_sloc_table()
+        assert table["python"] == max(table.values())
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        text = render_table(["col", "x"], [["a", 1], ["bbbb", 22]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1  # uniform width
+
+    def test_render_table_cell_count_guard(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [["x", "y"]])
+
+    def test_run_sizes_rows_formats_like_paper(self):
+        rows = run_sizes_rows([16, 22])
+        assert rows[0][1] == "65K"
+        assert rows[0][2] == "1M"
+        assert rows[1][1] == "4M"
+        assert rows[1][2] == "67M"
+        assert rows[1][3] == "1.6GB"
+
+    def test_render_run_sizes_contains_title(self):
+        assert "Table II" in render_run_sizes()
+
+    def test_render_sloc_includes_paper_numbers(self):
+        text = render_sloc()
+        assert "494" in text  # paper's C++ row
+        assert "python" in text
+
+    def test_paper_table1_reference_values(self):
+        assert PAPER_TABLE1["C++"] == 494
+        assert PAPER_TABLE1["Matlab"] == 102
+
+
+class TestRecords:
+    def _records(self):
+        result = run_pipeline(PipelineConfig(scale=6, seed=1, backend="numpy"))
+        return MeasurementRecord.from_result(result)
+
+    def test_from_result_one_per_kernel(self):
+        records = self._records()
+        assert len(records) == 4
+        assert {r.kernel for r in records} == {k.value for k in KernelName}
+
+    def test_json_round_trip(self, tmp_path):
+        records = self._records()
+        save_records(records, tmp_path / "r.json")
+        assert load_records(tmp_path / "r.json") == records
+
+    def test_csv_round_trip(self, tmp_path):
+        records = self._records()
+        save_records(records, tmp_path / "r.csv")
+        assert load_records(tmp_path / "r.csv") == records
+
+    def test_filters(self):
+        records = self._records()
+        k3 = kernel_records(records, KernelName.K3_PAGERANK)
+        assert len(k3) == 1
+        grouped = by_backend(records)
+        assert set(grouped) == {"numpy"}
+
+
+class TestSweep:
+    def test_plan_validation(self):
+        with pytest.raises(ValueError):
+            SweepPlan(scales=[], backends=["scipy"])
+        with pytest.raises(ValueError):
+            SweepPlan(scales=[6], backends=[])
+        with pytest.raises(ValueError):
+            SweepPlan(scales=[6], backends=["scipy"], repeats=0)
+
+    def test_configs_grid(self):
+        plan = SweepPlan(scales=[6, 7], backends=["scipy", "numpy"])
+        configs = plan.configs()
+        assert len(configs) == 4
+        assert {(c.backend, c.scale) for c in configs} == {
+            ("scipy", 6), ("scipy", 7), ("numpy", 6), ("numpy", 7),
+        }
+
+    def test_run_sweep_produces_grid_records(self):
+        plan = SweepPlan(scales=[6], backends=["scipy", "numpy"], seed=3)
+        records = run_sweep(plan)
+        assert len(records) == 8  # 2 backends x 4 kernels
+        assert {r.backend for r in records} == {"scipy", "numpy"}
+
+    def test_repeats_keep_fastest(self):
+        plan = SweepPlan(scales=[6], backends=["scipy"], repeats=2, seed=3)
+        records = run_sweep(plan)
+        assert len(records) == 4  # still one per kernel
+
+    def test_progress_callback(self):
+        calls = []
+        plan = SweepPlan(scales=[6], backends=["scipy"], seed=3)
+        run_sweep(plan, progress=lambda cfg, rep: calls.append((cfg.backend, rep)))
+        assert calls == [("scipy", 0)]
+
+
+class TestFigures:
+    def _records(self):
+        plan = SweepPlan(scales=[6, 7], backends=["scipy", "numpy"], seed=2)
+        return run_sweep(plan)
+
+    def test_build_series_shape(self):
+        figure = build_figure_series("fig7", self._records())
+        assert figure.kernel is KernelName.K3_PAGERANK
+        assert set(figure.series) == {"scipy", "numpy"}
+        for points in figure.series.values():
+            ms = [m for m, _ in points]
+            assert ms == sorted(ms)
+            assert len(points) == 2
+
+    def test_unknown_figure(self):
+        with pytest.raises(KeyError, match="available"):
+            build_figure_series("fig9", [])
+
+    def test_render_contains_legend_and_data(self):
+        figure = build_figure_series("fig5", self._records())
+        text = render_figure(figure)
+        assert "Figure 5" in text
+        assert "scipy" in text and "numpy" in text
+        assert "M=" in text
+
+    def test_render_empty_series(self):
+        figure = build_figure_series("fig4", [])
+        assert "(no data)" in render_figure(figure)
+
+
+class TestExperiments:
+    def test_registry_lists_all_paper_artifacts(self):
+        ids = set(available_experiments())
+        assert ids == {"table1", "table2", "fig4", "fig5", "fig6", "fig7"}
+
+    def test_table_experiments_run(self):
+        assert "Table II" in run_experiment("table2").text
+        assert "Source Lines" in run_experiment("table1").text
+
+    def test_figure_experiment_runs_small(self):
+        output = run_experiment("fig7", scales=[6], backends=["scipy"])
+        assert "Figure 7" in output.text
+        assert len(output.records) == 4
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError, match="available"):
+            run_experiment("fig99")

@@ -1,0 +1,68 @@
+"""Unit tests for the scaling-study harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import KernelName
+from repro.harness.scaling import (
+    render_size_scaling,
+    render_strong_scaling,
+    size_scaling,
+    strong_scaling,
+)
+
+
+class TestSizeScaling:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return size_scaling([6, 7], backend="numpy", seed=2)
+
+    def test_points_ascending(self, study):
+        assert [p.scale for p in study.points] == [6, 7]
+        assert study.points[1].num_edges == 2 * study.points[0].num_edges
+
+    def test_slope_finite(self, study):
+        assert abs(study.slope) < 10.0  # any sane fit
+
+    def test_kernel_selection(self):
+        study = size_scaling([6], backend="scipy",
+                             kernel=KernelName.K1_SORT, seed=2)
+        assert study.kernel is KernelName.K1_SORT
+        assert len(study.points) == 1
+
+    def test_requires_scales(self):
+        with pytest.raises(ValueError):
+            size_scaling([])
+
+    def test_render(self, study):
+        text = render_size_scaling(study)
+        assert "log-log slope" in text
+        assert "numpy" in text
+
+
+class TestStrongScaling:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return strong_scaling([2, 4], scale=8, iterations=4, seed=2)
+
+    def test_baseline_included(self, study):
+        assert [p.ranks for p in study.points] == [1, 2, 4]
+
+    def test_baseline_speedup_one(self, study):
+        assert study.points[0].speedup == pytest.approx(1.0)
+        assert study.points[0].efficiency == pytest.approx(1.0)
+
+    def test_allreduce_grows_with_ranks(self, study):
+        traffic = {p.ranks: p.allreduce_bytes for p in study.points}
+        assert traffic[1] == 0
+        assert traffic[4] > traffic[2] > 0
+
+    def test_load_balance_recorded(self, study):
+        assert len(study.local_nnz[4]) == 4
+        assert sum(study.local_nnz[4]) == sum(study.local_nnz[2])
+
+    def test_render(self, study):
+        text = render_strong_scaling(study)
+        assert "allreduce bytes" in text
+        assert "strong scaling" in text

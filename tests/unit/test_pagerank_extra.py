@@ -1,0 +1,127 @@
+"""Unit tests for Gauss-Seidel PageRank and rank-comparison utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.pagerank.compare import (
+    kendall_tau,
+    rank_displacement,
+    spearman_rho,
+    top_k,
+    top_k_overlap,
+)
+from repro.pagerank.gauss_seidel import pagerank_gauss_seidel
+from repro.pagerank.variants import pagerank_strongly_preferential
+
+
+def _random_normalised(rng, n=25, density=0.25):
+    mask = rng.random((n, n)) < density
+    counts = mask * rng.integers(1, 4, (n, n))
+    dout = counts.sum(axis=1)
+    return sp.csr_matrix(
+        counts / np.where(dout[:, None] > 0, dout[:, None], 1.0)
+    )
+
+
+class TestGaussSeidel:
+    def test_matches_power_iteration(self, rng):
+        a = _random_normalised(rng)
+        gs = pagerank_gauss_seidel(a, tol=1e-12)
+        power = pagerank_strongly_preferential(a, tol=1e-13)
+        assert gs.converged
+        assert np.allclose(gs.rank, power.rank, atol=1e-9)
+
+    def test_fewer_iterations_than_power(self, rng):
+        a = _random_normalised(rng, n=40)
+        gs = pagerank_gauss_seidel(a, tol=1e-10)
+        power = pagerank_strongly_preferential(a, tol=1e-10)
+        assert gs.iterations < power.iterations
+
+    def test_unit_mass(self, rng):
+        a = _random_normalised(rng)
+        result = pagerank_gauss_seidel(a, tol=1e-12)
+        assert result.rank.sum() == pytest.approx(1.0)
+
+    def test_handles_self_loops(self):
+        dense = np.array([[0.5, 0.5], [0.0, 1.0]])
+        a = sp.csr_matrix(dense)
+        gs = pagerank_gauss_seidel(a, tol=1e-13)
+        power = pagerank_strongly_preferential(a, tol=1e-14)
+        assert np.allclose(gs.rank, power.rank, atol=1e-8)
+
+    def test_handles_all_dangling(self):
+        a = sp.csr_matrix((3, 3))
+        result = pagerank_gauss_seidel(a, tol=1e-12)
+        assert np.allclose(result.rank, 1.0 / 3)
+
+    def test_iteration_cap(self, rng):
+        a = _random_normalised(rng)
+        result = pagerank_gauss_seidel(a, tol=1e-30, max_iterations=2)
+        assert not result.converged
+        assert result.iterations == 2
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="square"):
+            pagerank_gauss_seidel(sp.csr_matrix((2, 3)))
+        a = _random_normalised(rng)
+        with pytest.raises(ValueError, match="all-zero"):
+            pagerank_gauss_seidel(a, initial_rank=np.zeros(25))
+
+
+class TestTopK:
+    def test_orders_descending(self):
+        rank = np.array([0.1, 0.4, 0.2, 0.3])
+        assert top_k(rank, 2).tolist() == [1, 3]
+
+    def test_ties_broken_by_id(self):
+        rank = np.array([0.5, 0.5, 0.5])
+        assert top_k(rank, 3).tolist() == [0, 1, 2]
+
+    def test_k_larger_than_n(self):
+        assert len(top_k(np.array([1.0, 2.0]), 10)) == 2
+
+    def test_overlap_bounds(self):
+        a = np.array([4.0, 3.0, 2.0, 1.0])
+        b = np.array([1.0, 2.0, 3.0, 4.0])
+        assert top_k_overlap(a, a, 2) == 1.0
+        assert top_k_overlap(a, b, 2) == 0.0
+        assert top_k_overlap(a, b, 4) == 1.0
+
+
+class TestCorrelations:
+    def test_identical_rankings(self, rng):
+        rank = rng.random(50)
+        assert kendall_tau(rank, rank) == pytest.approx(1.0)
+        assert spearman_rho(rank, rank) == pytest.approx(1.0)
+
+    def test_reversed_rankings(self):
+        a = np.arange(20, dtype=float)
+        assert kendall_tau(a, -a) == pytest.approx(-1.0)
+        assert spearman_rho(a, -a) == pytest.approx(-1.0)
+
+    def test_shape_guard(self):
+        with pytest.raises(ValueError, match="shape"):
+            kendall_tau(np.zeros(3), np.zeros(4))
+
+
+class TestDisplacement:
+    def test_identical_is_zero(self, rng):
+        rank = rng.random(30)
+        summary = rank_displacement(rank, rank)
+        assert summary.max_displacement == 0
+        assert summary.unchanged_fraction == 1.0
+
+    def test_swap_two_adjacent(self):
+        a = np.array([4.0, 3.0, 2.0, 1.0])
+        b = np.array([3.0, 4.0, 2.0, 1.0])
+        summary = rank_displacement(a, b)
+        assert summary.max_displacement == 1
+        assert summary.unchanged_fraction == 0.5
+
+    def test_full_reversal(self):
+        a = np.arange(5, dtype=float)
+        summary = rank_displacement(a, -a)
+        assert summary.max_displacement == 4

@@ -1,0 +1,226 @@
+"""Unit tests for the parallel substrate (sim communicator, partition,
+kernels, traffic accounting)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.parallel.comm import payload_nbytes
+from repro.parallel.kernels import exchange_edges_by_owner, parallel_kernel2
+from repro.parallel.partition import RowPartition
+from repro.parallel.sim import run_rank_programs
+from repro.parallel.traffic import TrafficLog
+
+
+class TestPartition:
+    def test_bounds_cover_all_rows(self):
+        p = RowPartition(num_vertices=100, size=7)
+        covered = []
+        for rank in range(7):
+            lo, hi = p.bounds(rank)
+            covered.extend(range(lo, hi))
+        assert covered == list(range(100))
+
+    def test_balanced_within_one(self):
+        p = RowPartition(num_vertices=10, size=3)
+        sizes = [p.local_count(r) for r in range(3)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_owner_of_matches_bounds(self):
+        p = RowPartition(num_vertices=64, size=5)
+        vertices = np.arange(64)
+        owners = p.owner_of(vertices)
+        for rank in range(5):
+            lo, hi = p.bounds(rank)
+            assert np.all(owners[lo:hi] == rank)
+
+    def test_owner_rejects_out_of_range(self):
+        p = RowPartition(num_vertices=8, size=2)
+        with pytest.raises(ValueError):
+            p.owner_of(np.array([8]))
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            RowPartition(num_vertices=4, size=2).bounds(2)
+
+    def test_more_ranks_than_rows(self):
+        p = RowPartition(num_vertices=2, size=4)
+        sizes = [p.local_count(r) for r in range(4)]
+        assert sum(sizes) == 2
+
+
+class TestSimCommunicator:
+    def test_allreduce_sum(self):
+        def program(comm):
+            return comm.allreduce(np.array([float(comm.rank + 1)]))
+
+        results = run_rank_programs(program, 4)
+        assert all(r[0] == 10.0 for r in results)
+
+    def test_allreduce_max_and_min(self):
+        def program(comm):
+            hi = comm.allreduce(float(comm.rank), op="max")
+            lo = comm.allreduce(float(comm.rank), op="min")
+            return hi, lo
+
+        for hi, lo in run_rank_programs(program, 3):
+            assert (hi, lo) == (2.0, 0.0)
+
+    def test_allreduce_unknown_op(self):
+        def program(comm):
+            return comm.allreduce(1.0, op="xor")
+
+        with pytest.raises(RuntimeError, match="failed"):
+            run_rank_programs(program, 2)
+
+    def test_bcast_from_nonzero_root(self):
+        def program(comm):
+            payload = {"data": comm.rank} if comm.rank == 1 else None
+            return comm.bcast(payload, root=1)
+
+        assert all(r == {"data": 1} for r in run_rank_programs(program, 3))
+
+    def test_allgather_ordered(self):
+        def program(comm):
+            return comm.allgather(comm.rank * 10)
+
+        for result in run_rank_programs(program, 3):
+            assert result == [0, 10, 20]
+
+    def test_alltoall_personalised(self):
+        def program(comm):
+            payloads = [f"{comm.rank}->{dest}" for dest in range(comm.size)]
+            return comm.alltoall(payloads)
+
+        results = run_rank_programs(program, 3)
+        assert results[1] == ["0->1", "1->1", "2->1"]
+
+    def test_alltoall_wrong_length(self):
+        def program(comm):
+            return comm.alltoall([1])
+
+        with pytest.raises(RuntimeError):
+            run_rank_programs(program, 2)
+
+    def test_send_recv(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send(1, np.array([42]))
+                return None
+            return comm.recv(0)[0]
+
+        results = run_rank_programs(program, 2)
+        assert results[1] == 42
+
+    def test_rank_exception_propagates(self):
+        def program(comm):
+            if comm.rank == 1:
+                raise ValueError("rank 1 exploded")
+            comm.barrier()
+
+        with pytest.raises(RuntimeError):
+            run_rank_programs(program, 2)
+
+    def test_single_rank_group(self):
+        def program(comm):
+            assert comm.allreduce(5.0) == 5.0
+            assert comm.allgather("x") == ["x"]
+            comm.barrier()
+            return comm.size
+
+        assert run_rank_programs(program, 1) == [1]
+
+    def test_allreduce_returns_copy(self):
+        def program(comm):
+            out = comm.allreduce(np.ones(3))
+            out[0] = 99.0  # must not corrupt other ranks' view
+            comm.barrier()
+            again = comm.allreduce(np.ones(3))
+            return again[0]
+
+        assert all(v == float(3) for v in run_rank_programs(program, 3))
+
+
+class TestTrafficAccounting:
+    def test_allreduce_bytes_naive_model(self):
+        traffic = TrafficLog()
+
+        def program(comm):
+            comm.allreduce(np.zeros(100))  # 800 bytes
+
+        run_rank_programs(program, 4, traffic=traffic)
+        # Naive: 2 * (p-1) * payload = 2 * 3 * 800.
+        assert traffic.bytes_by_op()["allreduce"] == 4800
+
+    def test_bcast_bytes(self):
+        traffic = TrafficLog()
+
+        def program(comm):
+            comm.bcast(np.zeros(10) if comm.rank == 0 else None)
+
+        run_rank_programs(program, 3, traffic=traffic)
+        assert traffic.bytes_by_op()["bcast"] == 2 * 80
+
+    def test_collectives_logged_once(self):
+        traffic = TrafficLog()
+
+        def program(comm):
+            comm.allreduce(1.0)
+
+        run_rank_programs(program, 4, traffic=traffic)
+        assert len(traffic.records) == 1
+
+    def test_summary_shape(self):
+        log = TrafficLog()
+        log.record("send", 100, 1, rank=2)
+        summary = log.summary()
+        assert summary["total_bytes"] == 100
+        assert summary["total_messages"] == 1
+        assert summary["bytes_by_op"] == {"send": 100}
+
+    def test_payload_nbytes(self):
+        assert payload_nbytes(np.zeros(4)) == 32
+        assert payload_nbytes(3) == 8
+        assert payload_nbytes(True) == 1
+        assert payload_nbytes(b"ab") == 2
+        assert payload_nbytes("abc") == 3
+        assert payload_nbytes([np.zeros(2), 1]) == 24
+        assert payload_nbytes(object()) == 64
+
+
+class TestExchangeAndKernels:
+    def test_exchange_routes_to_owner(self):
+        n = 16
+
+        def program(comm, u, v):
+            partition = RowPartition(num_vertices=n, size=comm.size)
+            per = len(u) // comm.size
+            start = comm.rank * per
+            end = len(u) if comm.rank == comm.size - 1 else start + per
+            lu, lv = exchange_edges_by_owner(
+                comm, partition, u[start:end], v[start:end]
+            )
+            lo, hi = partition.bounds(comm.rank)
+            assert np.all((lu >= lo) & (lu < hi))
+            return len(lu)
+
+        rng = np.random.default_rng(0)
+        u = rng.integers(0, n, size=200).astype(np.int64)
+        v = rng.integers(0, n, size=200).astype(np.int64)
+        counts = run_rank_programs(program, 4, u, v)
+        assert sum(counts) == 200
+
+    def test_parallel_kernel2_reports_global_total(self):
+        n = 8
+        u = np.array([0, 0, 5, 7], dtype=np.int64)
+        v = np.array([1, 1, 2, 2], dtype=np.int64)
+
+        def program(comm):
+            partition = RowPartition(num_vertices=n, size=comm.size)
+            mask = partition.owner_of(u) == comm.rank
+            matrix, details = parallel_kernel2(comm, partition, u[mask], v[mask])
+            return details["pre_filter_entry_total"]
+
+        totals = run_rank_programs(program, 2)
+        assert all(t == 4.0 for t in totals)

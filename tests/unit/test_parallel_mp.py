@@ -1,0 +1,84 @@
+"""Unit tests for the multiprocessing communicator (star collectives)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.parallel.mp import run_rank_programs_mp
+
+
+# Rank programs must be module-level (picklable) for multiprocessing.
+
+def _allreduce_program(comm):
+    return comm.allreduce(np.array([float(comm.rank + 1)]))
+
+
+def _bcast_program(comm):
+    payload = {"origin": comm.rank} if comm.rank == 1 else None
+    return comm.bcast(payload, root=1)
+
+
+def _allgather_program(comm):
+    return comm.allgather(comm.rank * 3)
+
+
+def _alltoall_program(comm):
+    payloads = [f"{comm.rank}->{dest}" for dest in range(comm.size)]
+    return comm.alltoall(payloads)
+
+
+def _send_recv_program(comm):
+    if comm.rank == 0:
+        comm.send(1, np.arange(4))
+        return None
+    return int(comm.recv(0).sum())
+
+
+def _barrier_program(comm):
+    comm.barrier()
+    return comm.rank
+
+
+def _failing_program(comm):
+    if comm.rank == 1:
+        raise ValueError("rank 1 exploded")
+    comm.barrier()  # would deadlock without failure marshalling
+    return comm.rank
+
+
+class TestMpCollectives:
+    def test_allreduce_sum(self):
+        results = run_rank_programs_mp(_allreduce_program, 3)
+        assert all(r[0] == 6.0 for r in results)
+
+    def test_bcast_nonzero_root(self):
+        results = run_rank_programs_mp(_bcast_program, 3)
+        assert results == [{"origin": 1}] * 3
+
+    def test_allgather(self):
+        results = run_rank_programs_mp(_allgather_program, 3)
+        assert results == [[0, 3, 6]] * 3
+
+    def test_alltoall(self):
+        results = run_rank_programs_mp(_alltoall_program, 3)
+        assert results[2] == ["0->2", "1->2", "2->2"]
+
+    def test_send_recv(self):
+        results = run_rank_programs_mp(_send_recv_program, 2)
+        assert results[1] == 6
+
+    def test_barrier_completes(self):
+        assert run_rank_programs_mp(_barrier_program, 4) == [0, 1, 2, 3]
+
+    def test_single_rank(self):
+        results = run_rank_programs_mp(_allreduce_program, 1)
+        assert results[0][0] == 1.0
+
+    def test_rank_failure_reported(self):
+        with pytest.raises(RuntimeError, match="rank 1"):
+            run_rank_programs_mp(_failing_program, 2, timeout=30.0)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            run_rank_programs_mp(_barrier_program, 0)

@@ -1,0 +1,130 @@
+"""Unit tests for the analytic performance models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perfmodel.hardware import HardwareModel, LAPTOP_CLASS, SERVER_CLASS
+from repro.perfmodel.kernels import (
+    predict_kernel0,
+    predict_kernel1,
+    predict_kernel2,
+    predict_kernel3,
+    predict_parallel_kernel3,
+    predict_pipeline,
+)
+
+
+class TestHardwareModel:
+    def test_defaults_positive(self):
+        hw = HardwareModel(name="x")
+        assert hw.mem_bw_bytes_per_s > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HardwareModel(name="x", mem_bw_bytes_per_s=0)
+        with pytest.raises(ValueError):
+            HardwareModel(name="x", net_alpha_s=-1)
+
+    def test_with_rates(self):
+        hw = LAPTOP_CLASS.with_rates(mem_bw_bytes_per_s=1e9)
+        assert hw.mem_bw_bytes_per_s == 1e9
+        assert LAPTOP_CLASS.mem_bw_bytes_per_s != 1e9
+
+    def test_server_faster_than_laptop(self):
+        assert SERVER_CLASS.mem_bw_bytes_per_s > LAPTOP_CLASS.mem_bw_bytes_per_s
+
+
+class TestKernelPredictions:
+    M = 1 << 20
+
+    def test_all_kernels_positive(self):
+        for prediction in predict_pipeline(LAPTOP_CLASS, self.M):
+            assert prediction.seconds > 0
+            assert prediction.edges_per_second > 0
+            assert prediction.terms
+
+    def test_k3_metric_uses_iterations(self):
+        p10 = predict_kernel3(LAPTOP_CLASS, self.M, iterations=10)
+        p20 = predict_kernel3(LAPTOP_CLASS, self.M, iterations=20)
+        # Time doubles but the edges metric doubles too -> same edges/s.
+        assert p20.seconds == pytest.approx(2 * p10.seconds)
+        assert p20.edges_per_second == pytest.approx(p10.edges_per_second)
+
+    def test_k3_fastest_kernel(self):
+        # The paper's Figure 7 sits 1-2 decades above Figures 4-6.
+        k0, k1, k2, k3 = predict_pipeline(LAPTOP_CLASS, self.M)
+        assert k3.edges_per_second > k0.edges_per_second
+        assert k3.edges_per_second > k1.edges_per_second
+        assert k3.edges_per_second > k2.edges_per_second
+
+    def test_faster_hardware_faster_everywhere(self):
+        for slow, fast in zip(
+            predict_pipeline(LAPTOP_CLASS, self.M),
+            predict_pipeline(SERVER_CLASS, self.M),
+        ):
+            assert fast.edges_per_second >= slow.edges_per_second
+
+    def test_throughput_roughly_scale_invariant(self):
+        small = predict_kernel3(LAPTOP_CLASS, 1 << 16)
+        large = predict_kernel3(LAPTOP_CLASS, 1 << 24)
+        ratio = small.edges_per_second / large.edges_per_second
+        assert 0.5 < ratio < 2.0
+
+    def test_scalar_bound_when_interpreter_slow(self):
+        slow = LAPTOP_CLASS.with_rates(scalar_ops_per_s=1e5)
+        prediction = predict_kernel0(slow, self.M)
+        assert max(prediction.terms, key=prediction.terms.get) == "format_scalar"
+
+    def test_io_bound_when_storage_slow(self):
+        slow_disk = LAPTOP_CLASS.with_rates(
+            storage_write_bytes_per_s=1e6, scalar_ops_per_s=1e12
+        )
+        prediction = predict_kernel0(slow_disk, self.M)
+        assert max(prediction.terms, key=prediction.terms.get) == "storage_write"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            predict_kernel0(LAPTOP_CLASS, 0)
+        with pytest.raises(ValueError):
+            predict_kernel3(LAPTOP_CLASS, 10, iterations=0)
+
+
+class TestParallelModel:
+    def test_network_term_grows_with_ranks(self):
+        one = predict_parallel_kernel3(LAPTOP_CLASS, 1 << 24, 1 << 20, 2)
+        many = predict_parallel_kernel3(LAPTOP_CLASS, 1 << 24, 1 << 20, 16)
+        assert many.terms["allreduce_network"] > one.terms["allreduce_network"]
+
+    def test_local_compute_shrinks_with_ranks(self):
+        one = predict_parallel_kernel3(LAPTOP_CLASS, 1 << 24, 1 << 20, 1)
+        many = predict_parallel_kernel3(LAPTOP_CLASS, 1 << 24, 1 << 20, 16)
+        assert many.terms["spmv_memory"] < one.terms["spmv_memory"]
+
+    def test_eventually_network_dominated(self):
+        # The paper's Section IV.D prediction: at high rank counts the
+        # allreduce dwarfs the local SpMV.
+        prediction = predict_parallel_kernel3(
+            LAPTOP_CLASS, 1 << 24, 1 << 20, 64
+        )
+        assert (
+            prediction.terms["allreduce_network"]
+            > prediction.terms["spmv_memory"]
+        )
+
+
+class TestCalibration:
+    def test_calibrated_model_reproduces_k3(self):
+        from repro.core.config import PipelineConfig
+        from repro.core.pipeline import run_pipeline
+        from repro.perfmodel.calibrate import calibrate_from_run
+
+        result = run_pipeline(PipelineConfig(scale=8, seed=1, backend="scipy"))
+        hw = calibrate_from_run(result, LAPTOP_CLASS)
+        from repro.core.config import KernelName
+
+        measured = result.kernel(KernelName.K3_PAGERANK).seconds
+        predicted = predict_kernel3(
+            hw, result.config.num_edges, iterations=20
+        ).seconds
+        assert predicted == pytest.approx(measured, rel=0.05)

@@ -1,0 +1,136 @@
+"""Unit tests for the out-of-core external sort."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.edgeio.dataset import EdgeDataset
+from repro.sort.external import (
+    ExternalSortConfig,
+    external_sort_dataset,
+    merge_sorted_arrays,
+)
+
+
+def _write_random_dataset(tmp_path, rng, m=2000, n=128, shards=4):
+    u = rng.integers(0, n, size=m).astype(np.int64)
+    v = rng.integers(0, n, size=m).astype(np.int64)
+    ds = EdgeDataset.write(tmp_path / "in", u, v, num_vertices=n,
+                           num_shards=shards)
+    return ds, u, v
+
+
+class TestExternalSort:
+    def test_sorted_and_complete(self, tmp_path, rng):
+        ds, u, v = _write_random_dataset(tmp_path, rng)
+        out = external_sort_dataset(
+            ds, tmp_path / "out",
+            config=ExternalSortConfig(batch_edges=128, merge_block_edges=64),
+        )
+        su, sv = out.read_all()
+        assert np.all(np.diff(su) >= 0)
+        assert np.array_equal(np.sort(u * 128 + v), np.sort(su * 128 + sv))
+
+    def test_multipass_merge(self, tmp_path, rng):
+        # 2000 edges / 64-edge runs = 32 runs > fan_in 3 => multi-pass.
+        ds, u, v = _write_random_dataset(tmp_path, rng)
+        out = external_sort_dataset(
+            ds, tmp_path / "out",
+            config=ExternalSortConfig(batch_edges=64, fan_in=3,
+                                      merge_block_edges=32),
+        )
+        su, sv = out.read_all()
+        assert np.all(np.diff(su) >= 0)
+        assert len(su) == ds.num_edges
+
+    def test_matches_in_memory_sort(self, tmp_path, rng):
+        ds, u, v = _write_random_dataset(tmp_path, rng, m=777, n=32)
+        out = external_sort_dataset(
+            ds, tmp_path / "out",
+            config=ExternalSortConfig(batch_edges=100, merge_block_edges=37),
+        )
+        su, _ = out.read_all()
+        assert np.array_equal(su, np.sort(u))
+
+    def test_by_end_vertex(self, tmp_path, rng):
+        ds, u, v = _write_random_dataset(tmp_path, rng, m=900, n=16)
+        out = external_sort_dataset(
+            ds, tmp_path / "out", by_end_vertex=True,
+            config=ExternalSortConfig(batch_edges=64, fan_in=3,
+                                      merge_block_edges=16),
+        )
+        su, sv = out.read_all()
+        keys = su * 16 + sv
+        assert np.all(np.diff(keys) >= 0)
+
+    def test_preserves_format_and_base(self, tmp_path, rng):
+        u = rng.integers(0, 8, size=100).astype(np.int64)
+        v = rng.integers(0, 8, size=100).astype(np.int64)
+        ds = EdgeDataset.write(tmp_path / "in", u, v, num_vertices=8,
+                               vertex_base=1, fmt="tsv")
+        out = external_sort_dataset(ds, tmp_path / "out")
+        assert out.manifest.vertex_base == 1
+        assert out.fmt == "tsv"
+
+    def test_output_shard_count(self, tmp_path, rng):
+        ds, _, _ = _write_random_dataset(tmp_path, rng)
+        out = external_sort_dataset(ds, tmp_path / "out", num_shards=6)
+        assert out.num_shards == 6
+
+    def test_empty_dataset(self, tmp_path):
+        empty = np.empty(0, dtype=np.int64)
+        ds = EdgeDataset.write(tmp_path / "in", empty, empty, num_vertices=4)
+        out = external_sort_dataset(ds, tmp_path / "out")
+        assert out.num_edges == 0
+        EdgeDataset.open(tmp_path / "out")  # valid dataset with manifest
+
+    def test_spill_dir_cleaned_up(self, tmp_path, rng):
+        import os
+
+        ds, _, _ = _write_random_dataset(tmp_path, rng, m=500)
+        spill = tmp_path / "spill"
+        external_sort_dataset(
+            ds, tmp_path / "out",
+            config=ExternalSortConfig(batch_edges=64, tmp_dir=spill),
+        )
+        # Caller-provided tmp dir is kept but runs inside are deleted.
+        leftovers = [f for f in os.listdir(spill) if f.endswith(".bin")]
+        assert leftovers == []
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ExternalSortConfig(batch_edges=0)
+        with pytest.raises(ValueError):
+            ExternalSortConfig(fan_in=1)
+
+    def test_duplicate_heavy_input(self, tmp_path, rng):
+        # Keys spanning merge-block boundaries must stay correct.
+        u = np.repeat(np.array([3, 1, 2], dtype=np.int64), 300)
+        v = rng.integers(0, 8, size=900).astype(np.int64)
+        ds = EdgeDataset.write(tmp_path / "in", u, v, num_vertices=8)
+        out = external_sort_dataset(
+            ds, tmp_path / "out",
+            config=ExternalSortConfig(batch_edges=100, merge_block_edges=16),
+        )
+        su, _ = out.read_all()
+        assert np.array_equal(su, np.sort(u))
+
+
+class TestMergeSortedArrays:
+    def test_merges(self):
+        a = (np.array([0, 2, 4], dtype=np.int64), np.array([1, 1, 1], dtype=np.int64))
+        b = (np.array([1, 3], dtype=np.int64), np.array([2, 2], dtype=np.int64))
+        u, v = merge_sorted_arrays([a, b])
+        assert np.array_equal(u, [0, 1, 2, 3, 4])
+        assert np.array_equal(v, [1, 2, 1, 2, 1])
+
+    def test_rejects_unsorted(self):
+        bad = (np.array([2, 1], dtype=np.int64), np.array([0, 0], dtype=np.int64))
+        with pytest.raises(ValueError, match="sorted"):
+            merge_sorted_arrays([bad])
+
+    def test_empty_inputs(self):
+        empty = (np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        u, v = merge_sorted_arrays([empty, empty])
+        assert len(u) == 0

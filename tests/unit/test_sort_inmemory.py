@@ -1,0 +1,137 @@
+"""Unit tests for the in-memory sorts (Kernel 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sort.inmemory import (
+    counting_sort_edges,
+    is_sorted_by_start,
+    numpy_sort_edges,
+    radix_sort_edges,
+    sort_edges,
+)
+
+ALGORITHMS = ["numpy", "counting", "radix"]
+
+
+def _random_edges(rng, m=500, n=64):
+    u = rng.integers(0, n, size=m).astype(np.int64)
+    v = rng.integers(0, n, size=m).astype(np.int64)
+    return u, v
+
+
+class TestIsSorted:
+    def test_empty_and_single(self):
+        assert is_sorted_by_start(np.array([], dtype=np.int64))
+        assert is_sorted_by_start(np.array([5]))
+
+    def test_detects_order(self):
+        assert is_sorted_by_start(np.array([1, 1, 2, 9]))
+        assert not is_sorted_by_start(np.array([2, 1]))
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+class TestAllAlgorithms:
+    def test_sorts_by_start_vertex(self, algorithm, rng):
+        u, v = _random_edges(rng)
+        su, sv = sort_edges(u, v, algorithm=algorithm, num_vertices=64)
+        assert is_sorted_by_start(su)
+
+    def test_preserves_edge_multiset(self, algorithm, rng):
+        u, v = _random_edges(rng)
+        su, sv = sort_edges(u, v, algorithm=algorithm, num_vertices=64)
+        before = np.sort(u * 64 + v)
+        after = np.sort(su * 64 + sv)
+        assert np.array_equal(before, after)
+
+    def test_empty_input(self, algorithm):
+        empty = np.array([], dtype=np.int64)
+        su, sv = sort_edges(empty, empty.copy(), algorithm=algorithm,
+                            num_vertices=4)
+        assert len(su) == 0
+
+    def test_already_sorted_unchanged_keys(self, algorithm):
+        u = np.array([0, 1, 2, 3], dtype=np.int64)
+        v = np.array([3, 2, 1, 0], dtype=np.int64)
+        su, sv = sort_edges(u, v, algorithm=algorithm, num_vertices=4)
+        assert np.array_equal(su, u)
+        assert np.array_equal(sv, v)
+
+    def test_all_equal_keys(self, algorithm):
+        u = np.zeros(10, dtype=np.int64)
+        v = np.arange(10, dtype=np.int64)
+        su, sv = sort_edges(u, v, algorithm=algorithm, num_vertices=4)
+        assert np.array_equal(np.sort(sv), np.arange(10))
+
+    def test_by_end_vertex_lexicographic(self, algorithm, rng):
+        u, v = _random_edges(rng, m=300, n=16)
+        su, sv = sort_edges(u, v, algorithm=algorithm, num_vertices=16,
+                            by_end_vertex=True)
+        keys = su * 16 + sv
+        assert np.all(np.diff(keys) >= 0)
+
+    def test_agrees_with_numpy_reference(self, algorithm, rng):
+        if algorithm == "numpy":
+            pytest.skip("reference itself")
+        u, v = _random_edges(rng, m=400, n=32)
+        ref_u, _ = numpy_sort_edges(u, v)
+        got_u, _ = sort_edges(u, v, algorithm=algorithm, num_vertices=32)
+        assert np.array_equal(ref_u, got_u)
+
+
+class TestStability:
+    def test_numpy_stable(self):
+        u = np.array([1, 0, 1, 0], dtype=np.int64)
+        v = np.array([10, 20, 30, 40], dtype=np.int64)
+        _, sv = numpy_sort_edges(u, v, stable=True)
+        assert np.array_equal(sv, [20, 40, 10, 30])
+
+    def test_counting_stable(self):
+        u = np.array([1, 0, 1, 0], dtype=np.int64)
+        v = np.array([10, 20, 30, 40], dtype=np.int64)
+        _, sv = counting_sort_edges(u, v, num_vertices=2)
+        assert np.array_equal(sv, [20, 40, 10, 30])
+
+    def test_radix_stable(self):
+        u = np.array([1, 0, 1, 0], dtype=np.int64)
+        v = np.array([10, 20, 30, 40], dtype=np.int64)
+        _, sv = radix_sort_edges(u, v)
+        assert np.array_equal(sv, [20, 40, 10, 30])
+
+
+class TestValidation:
+    def test_counting_needs_num_vertices(self):
+        u = np.array([0], dtype=np.int64)
+        with pytest.raises(ValueError, match="num_vertices"):
+            sort_edges(u, u.copy(), algorithm="counting")
+
+    def test_counting_rejects_out_of_range(self):
+        u = np.array([9], dtype=np.int64)
+        with pytest.raises(ValueError, match="outside"):
+            counting_sort_edges(u, u.copy(), num_vertices=4)
+
+    def test_radix_rejects_negative(self):
+        u = np.array([-1], dtype=np.int64)
+        with pytest.raises(ValueError, match="non-negative"):
+            radix_sort_edges(u, u.copy())
+
+    def test_radix_digit_bits_bounds(self):
+        u = np.array([1], dtype=np.int64)
+        with pytest.raises(ValueError):
+            radix_sort_edges(u, u.copy(), digit_bits=30)
+
+    def test_unknown_algorithm(self):
+        u = np.array([0], dtype=np.int64)
+        with pytest.raises(ValueError, match="unknown sort algorithm"):
+            sort_edges(u, u.copy(), algorithm="quantum")
+
+
+class TestRadixWideKeys:
+    def test_keys_beyond_one_digit(self, rng):
+        u = rng.integers(0, 2**40, size=200).astype(np.int64)
+        v = rng.integers(0, 100, size=200).astype(np.int64)
+        su, sv = radix_sort_edges(u, v, digit_bits=11)
+        assert np.all(np.diff(su) >= 0)
+        assert np.array_equal(np.sort(u), su)

@@ -1,0 +1,56 @@
+"""Unit tests for repro._util.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util.rng import derive_seed, resolve_rng
+
+
+class TestResolveRng:
+    def test_none_gives_generator(self):
+        assert isinstance(resolve_rng(None), np.random.Generator)
+
+    def test_int_is_reproducible(self):
+        a = resolve_rng(42).random(5)
+        b = resolve_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert resolve_rng(gen) is gen
+
+    def test_rejects_bool_and_str(self):
+        with pytest.raises(TypeError):
+            resolve_rng(True)
+        with pytest.raises(TypeError):
+            resolve_rng("seed")
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, 3) == derive_seed(7, 3)
+
+    def test_children_differ(self):
+        seeds = {derive_seed(7, i) for i in range(100)}
+        assert len(seeds) == 100
+
+    def test_path_nesting_matters(self):
+        assert derive_seed(7, 1, 2) != derive_seed(7, 2, 1)
+
+    def test_different_bases_differ(self):
+        assert derive_seed(1, 0) != derive_seed(2, 0)
+
+    def test_requires_path(self):
+        with pytest.raises(ValueError, match="at least one path"):
+            derive_seed(7)
+
+    def test_rejects_negative_path(self):
+        with pytest.raises(ValueError):
+            derive_seed(7, -1)
+
+    def test_result_usable_as_seed(self):
+        seed = derive_seed(7, 12)
+        assert seed >= 0
+        np.random.default_rng(seed)  # must not raise

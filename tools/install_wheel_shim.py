@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Install the offline `wheel` shim into the active site-packages.
+
+Idempotent: does nothing when a `wheel` module is already importable
+(real or shim).  Copies ``tools/wheelshim/wheel`` next to a generated
+``wheel-<version>.dist-info`` whose ``entry_points.txt`` registers the
+``bdist_wheel`` distutils command — that registration is how setuptools
+discovers the command, so the dist-info is required, not cosmetic.
+
+Usage::
+
+    python tools/install_wheel_shim.py [--force]
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import site
+import sys
+from pathlib import Path
+
+SHIM_ROOT = Path(__file__).resolve().parent / "wheelshim"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--force", action="store_true",
+        help="reinstall even if a wheel module is already importable",
+    )
+    args = parser.parse_args()
+
+    if not args.force:
+        try:
+            import wheel  # noqa: F401
+
+            print(f"wheel already importable ({wheel.__version__}); nothing to do")
+            return 0
+        except ImportError:
+            pass
+
+    site_dirs = site.getsitepackages()
+    if not site_dirs:
+        print("no site-packages directory found", file=sys.stderr)
+        return 1
+    target_root = Path(site_dirs[0])
+
+    version = "0.38.4+shim"
+    pkg_target = target_root / "wheel"
+    if pkg_target.exists():
+        shutil.rmtree(pkg_target)
+    shutil.copytree(SHIM_ROOT / "wheel", pkg_target)
+
+    dist_info = target_root / f"wheel-{version.replace('+', '_')}.dist-info"
+    if dist_info.exists():
+        shutil.rmtree(dist_info)
+    dist_info.mkdir()
+    (dist_info / "METADATA").write_text(
+        "Metadata-Version: 2.1\n"
+        "Name: wheel\n"
+        f"Version: {version}\n"
+        "Summary: Minimal offline shim of the wheel package\n",
+        encoding="utf-8",
+    )
+    (dist_info / "entry_points.txt").write_text(
+        "[distutils.commands]\n"
+        "bdist_wheel = wheel.bdist_wheel:bdist_wheel\n",
+        encoding="utf-8",
+    )
+    (dist_info / "INSTALLER").write_text("install_wheel_shim.py\n", encoding="utf-8")
+    records = []
+    for path in sorted(pkg_target.rglob("*")):
+        if path.is_file():
+            records.append(f"{path.relative_to(target_root)},,\n")
+    for path in sorted(dist_info.iterdir()):
+        records.append(f"{path.relative_to(target_root)},,\n")
+    records.append(f"{dist_info.relative_to(target_root)}/RECORD,,\n")
+    (dist_info / "RECORD").write_text("".join(records), encoding="utf-8")
+
+    print(f"installed wheel shim {version} into {target_root}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,18 @@
+"""Minimal offline shim of the `wheel` package.
+
+This environment has no network and no `wheel` distribution, but pip
+>= 23.1 forces PEP 517/660 builds, and setuptools' editable-wheel path
+imports `wheel.wheelfile.WheelFile` and the `bdist_wheel` distutils
+command from the `wheel` distribution.  This shim implements exactly the
+surface setuptools needs so `pip install -e .` works offline:
+
+* :class:`wheel.wheelfile.WheelFile` — zip writer that maintains RECORD;
+* :class:`wheel.bdist_wheel.bdist_wheel` — the distutils command with
+  ``get_tag`` / ``write_wheelfile`` / ``egg2dist`` plus a basic ``run``
+  for non-editable pure-Python wheels.
+
+Install with ``python tools/install_wheel_shim.py`` (idempotent; does
+nothing if a real `wheel` package is already importable).
+"""
+
+__version__ = "0.38.4+shim"

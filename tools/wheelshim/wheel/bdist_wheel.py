@@ -1,0 +1,219 @@
+"""Minimal ``bdist_wheel`` distutils command (pure-Python wheels only).
+
+Implements the surface setuptools' PEP 517/660 backend uses:
+
+* ``get_tag()`` — always a pure tag ``(py3, none, any)``; this shim
+  refuses projects with extension modules;
+* ``write_wheelfile(dir)`` — emits the ``WHEEL`` metadata file;
+* ``egg2dist(egg_info, dist_info)`` — converts an ``.egg-info``
+  directory to ``.dist-info`` (PKG-INFO -> METADATA with Requires-Dist
+  derived from requires.txt);
+* ``run()`` — builds a complete pure wheel from ``build_py`` output so
+  plain ``pip install .`` / ``pip wheel .`` also work.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from distutils import log
+from distutils.core import Command
+from email.parser import Parser
+from pathlib import Path
+
+from wheel import __version__ as _shim_version
+from wheel.wheelfile import WheelFile
+
+_REMOVE_FROM_DISTINFO = (
+    "PKG-INFO",
+    "SOURCES.txt",
+    "requires.txt",
+    "dependency_links.txt",
+    "not-zip-safe",
+    "zip-safe",
+)
+
+
+def _requires_to_metadata_lines(requires_text: str):
+    """Translate egg-info requires.txt sections into core-metadata lines."""
+    lines = []
+    extra = None
+    marker = None
+    for raw in requires_text.splitlines():
+        raw = raw.strip()
+        if not raw:
+            continue
+        if raw.startswith("[") and raw.endswith("]"):
+            section = raw[1:-1]
+            if ":" in section:
+                extra, marker = section.split(":", 1)
+            else:
+                extra, marker = section, None
+            extra = extra.strip() or None
+            if extra:
+                lines.append(f"Provides-Extra: {extra}")
+            continue
+        requirement = raw
+        conditions = []
+        if extra:
+            conditions.append(f'extra == "{extra}"')
+        if marker:
+            conditions.append(f"({marker})")
+        if conditions:
+            requirement = f"{requirement} ; {' and '.join(conditions)}"
+        lines.append(f"Requires-Dist: {requirement}")
+    return lines
+
+
+class bdist_wheel(Command):
+    """Build a pure-Python wheel (offline shim)."""
+
+    description = "create a wheel distribution (offline shim; pure Python only)"
+
+    user_options = [
+        ("bdist-dir=", "b", "temporary directory for creating the distribution"),
+        ("dist-dir=", "d", "directory to put final built distributions in"),
+        ("keep-temp", "k", "keep the pseudo-installation tree"),
+    ]
+
+    boolean_options = ["keep-temp"]
+
+    def initialize_options(self):
+        self.bdist_dir = None
+        self.dist_dir = None
+        self.keep_temp = False
+
+    def finalize_options(self):
+        if self.bdist_dir is None:
+            bdist_base = self.get_finalized_command("bdist").bdist_base
+            self.bdist_dir = os.path.join(bdist_base, "wheel")
+        self.set_undefined_options("bdist", ("dist_dir", "dist_dir"))
+        if self.distribution.has_ext_modules():
+            raise RuntimeError(
+                "the offline wheel shim only builds pure-Python wheels; "
+                "install the real 'wheel' package for extension modules"
+            )
+
+    # ------------------------------------------------------------------
+    # API used by setuptools' dist_info / editable_wheel
+    # ------------------------------------------------------------------
+    def get_tag(self):
+        """Pure-python tag triple."""
+        return ("py3", "none", "any")
+
+    @property
+    def wheel_dist_name(self):
+        """``<name>-<version>`` with PEP 491 escaping."""
+        import re
+
+        def safe(component):
+            return re.sub(r"[^\w\d.]+", "_", component, flags=re.UNICODE)
+
+        return (
+            f"{safe(self.distribution.get_name())}-"
+            f"{safe(self.distribution.get_version())}"
+        )
+
+    def write_wheelfile(self, wheelfile_base, generator=None):
+        """Write the ``WHEEL`` metadata file into a dist-info directory."""
+        generator = generator or f"wheel-shim ({_shim_version})"
+        content = (
+            "Wheel-Version: 1.0\n"
+            f"Generator: {generator}\n"
+            "Root-Is-Purelib: true\n"
+            "Tag: py3-none-any\n"
+        )
+        os.makedirs(wheelfile_base, exist_ok=True)
+        with open(os.path.join(wheelfile_base, "WHEEL"), "w", encoding="utf-8") as fh:
+            fh.write(content)
+
+    def egg2dist(self, egginfo_path, distinfo_path):
+        """Convert an ``.egg-info`` directory into ``.dist-info``."""
+        egginfo_path = str(egginfo_path)
+        distinfo_path = str(distinfo_path)
+        if os.path.exists(distinfo_path):
+            shutil.rmtree(distinfo_path)
+        if not os.path.isdir(egginfo_path):
+            raise RuntimeError(
+                f"expected an .egg-info directory at {egginfo_path!r}"
+            )
+        shutil.copytree(egginfo_path, distinfo_path)
+
+        pkginfo = Path(distinfo_path, "PKG-INFO")
+        metadata = Parser().parsestr(pkginfo.read_text(encoding="utf-8"))
+        if metadata.get("Metadata-Version", "0") < "2.1":
+            del metadata["Metadata-Version"]
+            metadata["Metadata-Version"] = "2.1"
+
+        requires = Path(distinfo_path, "requires.txt")
+        if requires.exists():
+            for line in _requires_to_metadata_lines(
+                requires.read_text(encoding="utf-8")
+            ):
+                key, _, value = line.partition(": ")
+                metadata[key] = value
+
+        Path(distinfo_path, "METADATA").write_text(
+            metadata.as_string(), encoding="utf-8"
+        )
+        for name in _REMOVE_FROM_DISTINFO:
+            victim = Path(distinfo_path, name)
+            if victim.exists():
+                victim.unlink()
+
+    # ------------------------------------------------------------------
+    # Full (non-editable) wheel build
+    # ------------------------------------------------------------------
+    def run(self):
+        build_scripts = self.reinitialize_command("build_scripts")
+        build_scripts.executable = "python"
+        build_scripts.force = True
+
+        self.run_command("build")
+        install = self.reinitialize_command("install", reinit_subcommands=True)
+        install.root = self.bdist_dir
+        install.compile = False
+        install.skip_build = True
+        install.warn_dir = False
+        # Flatten the install tree: everything into the wheel root.
+        install.install_lib = "."
+        install.install_purelib = "."
+        install.install_platlib = "."
+        install.install_headers = "headers"
+        install.install_scripts = f"{self.wheel_dist_name}.data/scripts"
+        install.install_data = "."
+        self.run_command("install")
+
+        # Scripts installed via entry points are generated by pip at
+        # install time from entry_points.txt; drop setup-time scripts dir
+        # if it is empty.
+        scripts_dir = os.path.join(
+            self.bdist_dir, f"{self.wheel_dist_name}.data", "scripts"
+        )
+        if os.path.isdir(scripts_dir) and not os.listdir(scripts_dir):
+            shutil.rmtree(os.path.dirname(scripts_dir))
+
+        egg_info_cmd = self.get_finalized_command("egg_info")
+        egg_info_cmd.run()
+        distinfo_dir = os.path.join(
+            self.bdist_dir, f"{self.wheel_dist_name}.dist-info"
+        )
+        self.egg2dist(egg_info_cmd.egg_info, distinfo_dir)
+        self.write_wheelfile(distinfo_dir)
+
+        os.makedirs(self.dist_dir, exist_ok=True)
+        wheel_name = f"{self.wheel_dist_name}-py3-none-any.whl"
+        wheel_path = os.path.join(self.dist_dir, wheel_name)
+        if os.path.exists(wheel_path):
+            os.unlink(wheel_path)
+        log.info("creating %s", wheel_path)
+        with WheelFile(wheel_path, "w") as wf:
+            wf.write_files(self.bdist_dir)
+
+        if not self.keep_temp:
+            shutil.rmtree(self.bdist_dir, ignore_errors=True)
+
+        # Let `pip wheel` discover the artifact.
+        getattr(self.distribution, "dist_files", []).append(
+            ("bdist_wheel", "3", wheel_path)
+        )

@@ -1,0 +1,105 @@
+"""WheelFile: a ZipFile that records sha256 hashes and writes RECORD.
+
+API-compatible subset of wheel 0.38's ``wheel.wheelfile.WheelFile`` —
+the parts setuptools' ``editable_wheel`` and our shim's ``bdist_wheel``
+use: construction in "w" mode from a ``*.whl`` path, ``write``,
+``writestr``, ``write_files`` and RECORD emission on close.
+"""
+
+from __future__ import annotations
+
+import csv
+import hashlib
+import io
+import os
+import re
+import stat
+import zipfile
+from base64 import urlsafe_b64encode
+
+WHEEL_INFO_RE = re.compile(
+    r"^(?P<namever>(?P<name>[^\s-]+?)-(?P<ver>[^\s-]+?))"
+    r"(-(?P<build>\d[^\s-]*))?-(?P<pyver>[^\s-]+?)"
+    r"-(?P<abi>[^\s-]+?)-(?P<plat>\S+)\.whl$",
+    re.VERBOSE,
+)
+
+
+class WheelError(Exception):
+    """Raised for malformed wheel names or archives."""
+
+
+def _urlsafe_b64(data: bytes) -> str:
+    return urlsafe_b64encode(data).decode("latin1").rstrip("=")
+
+
+class WheelFile(zipfile.ZipFile):
+    """Write-mode zip archive that accumulates RECORD entries."""
+
+    def __init__(self, file, mode: str = "r", compression: int = zipfile.ZIP_DEFLATED):
+        basename = os.path.basename(file)
+        self.parsed_filename = WHEEL_INFO_RE.match(basename)
+        if not basename.endswith(".whl") or self.parsed_filename is None:
+            raise WheelError(f"Bad wheel filename {basename!r}")
+        super().__init__(file, mode, compression=compression, allowZip64=True)
+        self.dist_info_path = f"{self.parsed_filename.group('namever')}.dist-info"
+        self.record_path = f"{self.dist_info_path}/RECORD"
+        self._file_hashes = {}
+        self._file_sizes = {}
+
+    def write_files(self, base_dir: str) -> None:
+        """Add every file under ``base_dir``, dist-info last."""
+        deferred = []
+        for root, _dirnames, filenames in os.walk(base_dir):
+            for name in filenames:
+                path = os.path.join(root, name)
+                arcname = os.path.relpath(path, base_dir).replace(os.path.sep, "/")
+                if arcname == self.record_path:
+                    continue
+                if root.endswith(".dist-info"):
+                    deferred.append((path, arcname))
+                else:
+                    self.write(path, arcname)
+        deferred.sort()
+        for path, arcname in deferred:
+            self.write(path, arcname)
+
+    def write(self, filename, arcname=None, compress_type=None):  # noqa: D102
+        with open(filename, "rb") as fh:
+            st = os.fstat(fh.fileno())
+            data = fh.read()
+        zinfo = zipfile.ZipInfo(
+            arcname or filename, date_time=(1980, 1, 1, 0, 0, 0)
+        )
+        zinfo.external_attr = (stat.S_IMODE(st.st_mode) | stat.S_IFMT(st.st_mode)) << 16
+        zinfo.compress_type = compress_type or self.compression
+        self.writestr(zinfo, data, compress_type)
+
+    def writestr(self, zinfo_or_arcname, data, compress_type=None):  # noqa: D102
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        super().writestr(zinfo_or_arcname, data, compress_type)
+        fname = (
+            zinfo_or_arcname.filename
+            if isinstance(zinfo_or_arcname, zipfile.ZipInfo)
+            else zinfo_or_arcname
+        )
+        if fname != self.record_path:
+            digest = hashlib.sha256(data)
+            self._file_hashes[fname] = (digest.name, _urlsafe_b64(digest.digest()))
+            self._file_sizes[fname] = len(data)
+
+    def close(self):  # noqa: D102
+        if self.fp is not None and self.mode == "w" and self._file_hashes:
+            buffer = io.StringIO()
+            writer = csv.writer(buffer, delimiter=",", quotechar='"', lineterminator="\n")
+            writer.writerows(
+                (fname, f"{algorithm}={hash_}", self._file_sizes[fname])
+                for fname, (algorithm, hash_) in self._file_hashes.items()
+            )
+            writer.writerow((self.record_path, "", ""))
+            zinfo = zipfile.ZipInfo(self.record_path, date_time=(1980, 1, 1, 0, 0, 0))
+            zinfo.external_attr = (0o664 | stat.S_IFREG) << 16
+            zipfile.ZipFile.writestr(self, zinfo, buffer.getvalue())
+            self._file_hashes.clear()
+        super().close()
