@@ -67,6 +67,17 @@ class Backend(abc.ABC):
     #: Registry name; subclasses must override.
     name: str = ""
 
+    #: Execution strategies this backend's kernels compose with
+    #: (see :mod:`repro.core.executor`):
+    #:
+    #: * ``"serial"`` — always supported (the four abstract kernels);
+    #: * ``"streaming"`` — the out-of-core Kernel 2 can hand this
+    #:   backend a scipy CSR matrix via :meth:`adjacency_from_csr` and
+    #:   its Kernel 3 will accept the resulting handle;
+    #: * ``"parallel"`` — the sharded K2+K3 path produces rank vectors
+    #:   numerically matching this backend's serial output.
+    capabilities: frozenset = frozenset({"serial"})
+
     # ------------------------------------------------------------------
     # Kernel 0 — Generate
     # ------------------------------------------------------------------
@@ -124,6 +135,25 @@ class Backend(abc.ABC):
 
         Returns the final rank row-vector of length ``N``.
         """
+
+    # ------------------------------------------------------------------
+    # Capability hooks
+    # ------------------------------------------------------------------
+    def adjacency_from_csr(
+        self, matrix: sp.csr_matrix, pre_filter_total: float
+    ) -> AdjacencyHandle:
+        """Adopt an externally built (row-normalised) CSR matrix as this
+        backend's Kernel 2 output handle.
+
+        The streaming executor builds the filtered matrix out-of-core
+        (:func:`repro.core.streaming.streaming_kernel2`) and needs to
+        hand it to the backend's Kernel 3.  Backends declaring the
+        ``"streaming"`` capability must override this.
+        """
+        raise NotImplementedError(
+            f"backend {self.name!r} cannot adopt an external CSR matrix; "
+            f"it does not support the 'streaming' execution strategy"
+        )
 
     # ------------------------------------------------------------------
     # Shared helpers

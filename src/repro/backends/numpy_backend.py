@@ -85,6 +85,20 @@ class NumpyBackend(Backend):
     """Hand-rolled numpy implementation of all four kernels."""
 
     name = "numpy"
+    capabilities = frozenset({"serial", "streaming", "parallel"})
+
+    def adjacency_from_csr(self, matrix, pre_filter_total):
+        # CSR -> COO yields row-major triples, the same order
+        # _collapse_duplicates produces, so Kernel 3's bincount
+        # summation order (and thus its float64 result) is preserved.
+        coo = matrix.tocoo()
+        return CooAdjacency(
+            matrix.shape[0],
+            coo.row.astype(np.int64),
+            coo.col.astype(np.int64),
+            coo.data.astype(np.float64),
+            pre_filter_total,
+        )
 
     # ------------------------------------------------------------------
     def kernel0(self, config: PipelineConfig, out_dir: Path) -> KernelOutput[EdgeDataset]:

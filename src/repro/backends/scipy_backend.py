@@ -66,6 +66,10 @@ class ScipyBackend(Backend):
     """scipy.sparse implementation of all four kernels."""
 
     name = "scipy"
+    capabilities = frozenset({"serial", "streaming", "parallel"})
+
+    def adjacency_from_csr(self, matrix, pre_filter_total):
+        return ScipyAdjacency(matrix, pre_filter_total)
 
     # ------------------------------------------------------------------
     def kernel0(self, config: PipelineConfig, out_dir: Path) -> KernelOutput[EdgeDataset]:

@@ -20,11 +20,13 @@ from repro.harness.tables import render_table
 def _print_kernel_report(result) -> None:
     rows = []
     for kernel in result.kernels:
+        cached = kernel.details.get("artifact_cache") == "hit"
         rows.append(
             [
-                kernel.kernel.value,
+                kernel.kernel.value + (" (cache hit)" if cached else ""),
                 f"{kernel.seconds:.4f}",
-                f"{kernel.edges_per_second:,.0f}",
+                # A cache read's speed is not the kernel's throughput.
+                "-" if cached else f"{kernel.edges_per_second:,.0f}",
                 "yes" if kernel.officially_timed else "no (fig. 4 only)",
             ]
         )
@@ -55,10 +57,14 @@ def cmd_run(args: argparse.Namespace) -> int:
         file_format=args.file_format,
         sort_algorithm=args.sort_algorithm,
         external_sort=args.external_sort,
-        validate=args.validate,
+        validate=args.validate and not args.no_validate,
         keep_files=args.data_dir is not None,
+        execution=args.execution,
+        cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+        parallel_ranks=args.ranks,
+        streaming_batch_edges=args.batch_edges,
     )
-    result = run_pipeline(config)
+    result = run_pipeline(config, verify=not args.no_verify)
     if args.json:
         print(result.to_json())
         return 0
@@ -82,6 +88,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         backends=args.backends,
         seed=args.seed,
         repeats=args.repeats,
+        execution=args.execution,
+        cache_dir=Path(args.cache_dir) if args.cache_dir else None,
     )
 
     def progress(config, repeat):
@@ -106,6 +114,8 @@ def cmd_figures(args: argparse.Namespace) -> int:
         scales=args.scales,
         backends=args.backends,
         repeats=args.repeats,
+        execution=args.execution,
+        cache_dir=Path(args.cache_dir) if args.cache_dir else None,
     )
     print(output.text)
     if args.output:
@@ -208,7 +218,8 @@ def cmd_report(args: argparse.Namespace) -> int:
     from repro.harness.report import build_report
 
     plan = SweepPlan(scales=args.scales, backends=args.backends,
-                     repeats=args.repeats)
+                     repeats=args.repeats, execution=args.execution,
+                     cache_dir=Path(args.cache_dir) if args.cache_dir else None)
 
     def progress(config, repeat):
         print(f"... backend={config.backend} scale={config.scale} "

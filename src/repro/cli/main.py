@@ -7,7 +7,12 @@ import sys
 from typing import List, Optional
 
 from repro.cli import commands
-from repro.core.config import KernelName
+from repro.core.config import (
+    DEFAULT_PARALLEL_RANKS,
+    DEFAULT_STREAMING_BATCH_EDGES,
+    EXECUTION_MODES,
+    KernelName,
+)
 
 
 def _csv_ints(text: str) -> List[int]:
@@ -50,8 +55,30 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=["tsv", "npy", "tsv.gz"])
     run.add_argument("--data-dir", default=None,
                      help="keep kernel files here instead of a temp dir")
+    run.add_argument("--execution", default="serial",
+                     choices=list(EXECUTION_MODES),
+                     help="execution strategy: serial (in-memory), "
+                          "streaming (out-of-core kernel 2), or parallel "
+                          "(sharded kernels 2+3)")
+    run.add_argument("--cache-dir", default=None,
+                     help="reuse kernel 0/1 outputs from this artifact "
+                          "cache (created on first use); the cached "
+                          "kernel files then live under the cache, not "
+                          "--data-dir")
+    run.add_argument("--ranks", type=int, default=DEFAULT_PARALLEL_RANKS,
+                     help="rank count for --execution parallel")
+    run.add_argument("--batch-edges", type=int,
+                     default=DEFAULT_STREAMING_BATCH_EDGES,
+                     help="pass-1 batch size for --execution streaming")
     run.add_argument("--validate", action="store_true",
                      help="run the eigenvector cross-check after kernel 3")
+    run.add_argument("--no-validate", action="store_true",
+                     help="skip the eigenvector cross-check even if "
+                          "--validate was given (overrides it)")
+    run.add_argument("--no-verify", action="store_true",
+                     help="skip the inter-kernel contract checks "
+                          "(benchmark loops only; validation is separate, "
+                          "see --no-validate)")
     run.add_argument("--json", action="store_true", help="emit JSON result")
     run.set_defaults(func=commands.cmd_run)
 
@@ -61,6 +88,10 @@ def build_parser() -> argparse.ArgumentParser:
                        default=["python", "numpy", "scipy", "dataframe", "graphblas"])
     sweep.add_argument("--repeats", type=int, default=1)
     sweep.add_argument("--seed", type=int, default=1)
+    sweep.add_argument("--execution", default="serial",
+                       choices=list(EXECUTION_MODES))
+    sweep.add_argument("--cache-dir", default=None,
+                       help="reuse kernel 0/1 outputs across cells/repeats")
     sweep.add_argument("--output", default=None,
                        help="write records to this .json/.csv file")
     sweep.set_defaults(func=commands.cmd_sweep)
@@ -71,6 +102,10 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--scales", type=_csv_ints, default=None)
     figures.add_argument("--backends", type=_csv_strs, default=None)
     figures.add_argument("--repeats", type=int, default=1)
+    figures.add_argument("--execution", default="serial",
+                         choices=list(EXECUTION_MODES))
+    figures.add_argument("--cache-dir", default=None,
+                         help="reuse kernel 0/1 outputs across cells/repeats")
     figures.add_argument("--output", default=None,
                          help="also write records to this .json/.csv file")
     figures.set_defaults(func=commands.cmd_figures)
@@ -123,6 +158,10 @@ def build_parser() -> argparse.ArgumentParser:
                         default=["python", "numpy", "scipy", "dataframe",
                                  "graphblas"])
     report.add_argument("--repeats", type=int, default=1)
+    report.add_argument("--execution", default="serial",
+                        choices=list(EXECUTION_MODES))
+    report.add_argument("--cache-dir", default=None,
+                        help="reuse kernel 0/1 outputs across cells/repeats")
     report.add_argument("--output", default=None,
                         help="write the markdown report here (stdout otherwise)")
     report.set_defaults(func=commands.cmd_report)

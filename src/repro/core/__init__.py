@@ -10,12 +10,37 @@ is swappable.
 
 from __future__ import annotations
 
-from repro.core.config import KernelName, PipelineConfig, run_sizes_table
-from repro.core.exceptions import KernelContractError, PipelineError
+from repro.core.artifacts import ArtifactCache
+from repro.core.config import (
+    EXECUTION_MODES,
+    KernelName,
+    PipelineConfig,
+    run_sizes_table,
+)
+from repro.core.exceptions import (
+    ExecutorCapabilityError,
+    KernelContractError,
+    PipelineError,
+)
+from repro.core.executor import (
+    Executor,
+    SerialExecutor,
+    ShardParallelExecutor,
+    StreamingExecutor,
+    available_executions,
+    get_executor,
+)
 from repro.core.pipeline import Pipeline, run_pipeline
 from repro.core.results import KernelResult, PipelineResult
+from repro.core.stages import Contract, ExecutionPlan, Stage, default_plan
 
 __all__ = [
+    "ArtifactCache",
+    "Contract",
+    "EXECUTION_MODES",
+    "ExecutionPlan",
+    "Executor",
+    "ExecutorCapabilityError",
     "KernelContractError",
     "KernelName",
     "KernelResult",
@@ -23,6 +48,13 @@ __all__ = [
     "PipelineConfig",
     "PipelineError",
     "PipelineResult",
+    "SerialExecutor",
+    "ShardParallelExecutor",
+    "Stage",
+    "StreamingExecutor",
+    "available_executions",
+    "default_plan",
+    "get_executor",
     "run_pipeline",
     "run_sizes_table",
 ]

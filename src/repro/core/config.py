@@ -40,6 +40,13 @@ class KernelName(str, enum.Enum):
 DEFAULT_DAMPING = 0.85
 #: PageRank iteration count fixed by the paper.
 DEFAULT_ITERATIONS = 20
+#: Execution strategies understood by :mod:`repro.core.executor`.
+EXECUTION_MODES = ("serial", "streaming", "parallel")
+#: Default rank count for the "parallel" strategy (config and CLI).
+DEFAULT_PARALLEL_RANKS = 4
+#: Default pass-1 batch size for the "streaming" strategy (config, CLI,
+#: and :func:`repro.core.streaming.streaming_kernel2`).
+DEFAULT_STREAMING_BATCH_EDGES = 1 << 18
 
 
 @dataclass(frozen=True)
@@ -86,6 +93,20 @@ class PipelineConfig:
         Run the eigenvector cross-check after Kernel 3 (small scales).
     keep_files:
         Keep kernel files after the run even in a temp dir.
+    execution:
+        Execution strategy: ``"serial"`` (in-memory, the default),
+        ``"streaming"`` (out-of-core Kernel 2), or ``"parallel"``
+        (sharded distributed Kernels 2+3).  See
+        :mod:`repro.core.executor`.
+    cache_dir:
+        Root of the Kernel 0/1 artifact cache
+        (:class:`repro.core.artifacts.ArtifactCache`); ``None`` disables
+        caching.
+    parallel_ranks:
+        Rank count for the ``"parallel"`` execution strategy.
+    streaming_batch_edges:
+        Pass-1 batch size (the memory knob) for the ``"streaming"``
+        strategy.
     """
 
     scale: int
@@ -105,6 +126,10 @@ class PipelineConfig:
     formula: str = "appendix"
     validate: bool = False
     keep_files: bool = False
+    execution: str = "serial"
+    cache_dir: Optional[Path] = None
+    parallel_ranks: int = DEFAULT_PARALLEL_RANKS
+    streaming_batch_edges: int = DEFAULT_STREAMING_BATCH_EDGES
 
     def __post_init__(self) -> None:
         check_positive_int("scale", self.scale)
@@ -125,8 +150,17 @@ class PipelineConfig:
             raise ValueError(
                 f"formula must be 'appendix' or 'paper-body', got {self.formula!r}"
             )
+        if self.execution not in EXECUTION_MODES:
+            raise ValueError(
+                f"execution must be one of {EXECUTION_MODES}, "
+                f"got {self.execution!r}"
+            )
+        check_positive_int("parallel_ranks", self.parallel_ranks)
+        check_positive_int("streaming_batch_edges", self.streaming_batch_edges)
         if self.data_dir is not None:
             object.__setattr__(self, "data_dir", Path(self.data_dir))
+        if self.cache_dir is not None:
+            object.__setattr__(self, "cache_dir", Path(self.cache_dir))
 
     # ------------------------------------------------------------------
     # Derived sizes (paper Section IV.A / Table II)
@@ -152,8 +186,9 @@ class PipelineConfig:
     def to_dict(self) -> Dict[str, object]:
         """JSON-safe dict (paths become strings)."""
         doc = asdict(self)
-        if doc["data_dir"] is not None:
-            doc["data_dir"] = str(doc["data_dir"])
+        for key in ("data_dir", "cache_dir"):
+            if doc[key] is not None:
+                doc[key] = str(doc[key])
         return doc
 
     def to_json(self) -> str:
@@ -164,8 +199,9 @@ class PipelineConfig:
     def from_dict(cls, doc: Dict[str, object]) -> "PipelineConfig":
         """Inverse of :meth:`to_dict`."""
         doc = dict(doc)
-        if doc.get("data_dir"):
-            doc["data_dir"] = Path(str(doc["data_dir"]))
+        for key in ("data_dir", "cache_dir"):
+            if doc.get(key):
+                doc[key] = Path(str(doc[key]))
         return cls(**doc)  # type: ignore[arg-type]
 
     def with_overrides(self, **changes: object) -> "PipelineConfig":

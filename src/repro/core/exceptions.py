@@ -16,3 +16,13 @@ class KernelContractError(PipelineError):
 class ValidationError(PipelineError):
     """The PageRank result failed the eigenvector cross-check of paper
     Section IV.D."""
+
+
+class ExecutorCapabilityError(PipelineError, ValueError):
+    """The selected execution strategy needs a capability the backend
+    does not declare (e.g. ``--execution streaming`` with a backend that
+    cannot adopt an externally built CSR matrix).
+
+    Also a ``ValueError`` so the CLI reports it as a usage error instead
+    of a traceback.
+    """

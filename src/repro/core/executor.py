@@ -1,0 +1,410 @@
+"""Pluggable execution strategies over the benchmark's stage graph.
+
+One :class:`~repro.core.stages.ExecutionPlan` — three (today) ways to
+run it:
+
+* :class:`SerialExecutor` — every kernel through the backend's serial
+  implementation, fully in memory (the original ``Pipeline.run``);
+* :class:`StreamingExecutor` — Kernel 2 through the out-of-core
+  :func:`repro.core.streaming.streaming_kernel2`, memory bounded by
+  ``O(batch + N)``;
+* :class:`ShardParallelExecutor` — Kernels 2+3 through the distributed
+  :func:`repro.parallel.driver.run_parallel_pipeline`, with the
+  communication :class:`~repro.parallel.traffic.TrafficLog` merged into
+  the Kernel 3 result details.
+
+The base class owns everything strategy-independent: scratch-directory
+lifecycle, per-stage wall-clock timing, artifact-cache routing for
+Kernels 0/1, contract enforcement (outside timed regions), throughput
+attribution, and the optional eigenvector validation.  A subclass only
+decides *how* each stage's kernel is computed — which is the point: a
+new scenario (async, multi-node, a new backend family) is a new
+executor, not a fourth pipeline fork.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Type
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro._util import StopWatch
+from repro.backends.base import AdjacencyHandle, Backend, Details
+from repro.backends.registry import get_backend
+from repro.core.artifacts import ArtifactCache, k0_cache_fields, k1_cache_fields
+from repro.core.config import EXECUTION_MODES, KernelName, PipelineConfig
+from repro.core.exceptions import ExecutorCapabilityError
+from repro.core.results import KernelResult, PipelineResult
+from repro.core.stages import (
+    ARTIFACT_ADJACENCY,
+    ARTIFACT_K0,
+    ARTIFACT_K1,
+    ARTIFACT_RANK,
+    ExecutionPlan,
+    Stage,
+    StageContext,
+    default_plan,
+)
+
+StageOutput = Tuple[object, Details]
+
+
+class Executor:
+    """Base execution strategy: the shared run loop.
+
+    Parameters
+    ----------
+    plan:
+        Stage graph to execute; the benchmark's canonical four-stage
+        plan when omitted.
+    """
+
+    #: Registry/config name of the strategy.
+    name: str = ""
+    #: Capability a backend must declare for this strategy.
+    required_capability: str = "serial"
+
+    def __init__(self, plan: Optional[ExecutionPlan] = None) -> None:
+        self.plan = plan if plan is not None else default_plan()
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        config: PipelineConfig,
+        backend: Optional[Backend] = None,
+        *,
+        verify: bool = True,
+    ) -> PipelineResult:
+        """Run the plan and return the aggregated result.
+
+        Parameters
+        ----------
+        config:
+            The run configuration (``config.execution`` is *not*
+            consulted here — calling an executor runs that executor).
+        backend:
+            Backend instance; resolved from ``config.backend`` when
+            omitted.
+        verify:
+            Enforce each stage's :class:`~repro.core.stages.Contract`
+            (outside the timed regions).
+        """
+        backend = backend if backend is not None else get_backend(config.backend)
+        if self.required_capability not in backend.capabilities:
+            raise ExecutorCapabilityError(
+                f"backend {backend.name!r} does not declare the "
+                f"{self.required_capability!r} capability required by the "
+                f"{self.name or type(self).__name__} execution strategy; "
+                f"declared: {sorted(backend.capabilities)}"
+            )
+
+        own_dir = config.data_dir is None
+        base_dir = (
+            Path(tempfile.mkdtemp(prefix="repro-pipeline-"))
+            if own_dir
+            else Path(config.data_dir)
+        )
+        base_dir.mkdir(parents=True, exist_ok=True)
+        ctx = StageContext(config=config, backend=backend, base_dir=base_dir)
+        result = PipelineResult(config=config)
+        try:
+            for stage in self.plan.stages:
+                watch = StopWatch().start()
+                output, details = self._run_stage(stage, ctx)
+                seconds = watch.stop()
+                # A strategy that cannot be timed from outside (the
+                # shard-parallel K2/K3 phases run fused inside one
+                # per-rank program) reports its own clock instead.
+                seconds = float(details.get("measured_seconds", seconds))
+                ctx.artifacts[stage.provides] = output
+                edges = int(
+                    details.get("edges_processed", stage.nominal_edges(config))
+                )
+                result.kernels.append(
+                    KernelResult(
+                        kernel=stage.kernel,
+                        seconds=seconds,
+                        edges_processed=edges,
+                        officially_timed=stage.officially_timed,
+                        details=details,
+                    )
+                )
+                if verify and stage.contract is not None:
+                    stage.contract.check(ctx)
+
+            rank = ctx.artifacts.get(ARTIFACT_RANK)
+            if rank is not None:
+                result.rank = np.asarray(rank)
+            if config.validate:
+                result.validation = self._validate(ctx)
+            return result
+        finally:
+            if own_dir and not config.keep_files:
+                shutil.rmtree(base_dir, ignore_errors=True)
+
+    # ------------------------------------------------------------------
+    def _run_stage(self, stage: Stage, ctx: StageContext) -> StageOutput:
+        """Dispatch one stage to the strategy's kernel routing."""
+        handlers = {
+            KernelName.K0_GENERATE: self._run_generate,
+            KernelName.K1_SORT: self._run_sort,
+            KernelName.K2_FILTER: self._run_filter,
+            KernelName.K3_PAGERANK: self._run_pagerank,
+        }
+        try:
+            handler = handlers[stage.kernel]
+        except KeyError:
+            raise KeyError(
+                f"{type(self).__name__} has no handler for {stage.kernel.value}"
+            ) from None
+        return handler(ctx)
+
+    def _validate(self, ctx: StageContext) -> Dict[str, object]:
+        """The Section IV.D eigenvector cross-check (small scales)."""
+        from repro.pagerank.validate import validate_rank
+
+        handle = ctx.require(ARTIFACT_ADJACENCY)
+        rank = np.asarray(ctx.require(ARTIFACT_RANK))
+        report = validate_rank(
+            handle.to_scipy_csr(), rank, damping=ctx.config.damping
+        )
+        return report.to_dict()
+
+    # -- kernel routing (overridden by strategies) ---------------------
+    @staticmethod
+    def _maybe_cached(ctx, kind, fields, producer) -> StageOutput:
+        """Route a dataset-producing stage through the artifact cache
+        when ``config.cache_dir`` is set, else into the run directory."""
+        if ctx.config.cache_dir is not None:
+            cache = ArtifactCache(ctx.config.cache_dir)
+            return cache.dataset(kind, fields, producer)
+        return producer(ctx.base_dir / kind)
+
+    def _run_generate(self, ctx: StageContext) -> StageOutput:
+        config = ctx.config
+        return self._maybe_cached(
+            ctx,
+            "k0",
+            k0_cache_fields(config, ctx.backend.name),
+            lambda out_dir: ctx.backend.kernel0(config, out_dir),
+        )
+
+    def _run_sort(self, ctx: StageContext) -> StageOutput:
+        config = ctx.config
+        source = ctx.require(ARTIFACT_K0)
+        return self._maybe_cached(
+            ctx,
+            "k1",
+            k1_cache_fields(config, ctx.backend.name),
+            lambda out_dir: ctx.backend.kernel1(config, source, out_dir),
+        )
+
+    def _run_filter(self, ctx: StageContext) -> StageOutput:
+        return ctx.backend.kernel2(ctx.config, ctx.require(ARTIFACT_K1))
+
+    def _run_pagerank(self, ctx: StageContext) -> StageOutput:
+        return ctx.backend.kernel3(ctx.config, ctx.require(ARTIFACT_ADJACENCY))
+
+
+class SerialExecutor(Executor):
+    """Current behaviour: all four kernels through the serial backend."""
+
+    name = "serial"
+    required_capability = "serial"
+
+
+class StreamingExecutor(Executor):
+    """Out-of-core Kernel 2; everything else serial.
+
+    Kernel 2 streams the sorted Kernel 1 dataset in
+    ``config.streaming_batch_edges``-sized batches (peak memory
+    ``O(batch + N)`` instead of ``O(M + N)``) and hands the resulting
+    CSR matrix back to the backend via
+    :meth:`~repro.backends.base.Backend.adjacency_from_csr`.
+    """
+
+    name = "streaming"
+    required_capability = "streaming"
+
+    def _run_filter(self, ctx: StageContext) -> StageOutput:
+        from repro.core.streaming import streaming_kernel2
+
+        config = ctx.config
+        source = ctx.require(ARTIFACT_K1)
+        streamed = streaming_kernel2(
+            source,
+            batch_edges=config.streaming_batch_edges,
+            scratch_dir=ctx.base_dir / "k2-scratch",
+        )
+        handle = ctx.backend.adjacency_from_csr(
+            streamed.matrix, streamed.pre_filter_entry_total
+        )
+        details: Details = {
+            "execution": "streaming",
+            "batch_edges": config.streaming_batch_edges,
+            "batches": streamed.batches,
+            "unique_triples": streamed.unique_triples,
+            "eliminated_columns": streamed.eliminated_columns,
+            "pre_filter_entry_total": streamed.pre_filter_entry_total,
+            "nnz": handle.nnz,
+            # Edge records actually ingested by pass 1 — may differ from
+            # config.num_edges when contracts are disabled and the
+            # dataset does not hold exactly M edges.
+            "edges_processed": int(streamed.pre_filter_entry_total),
+        }
+        return handle, details
+
+
+class _ParallelAdjacency(AdjacencyHandle):
+    """Contract/validation view over the distributed Kernel 2 output.
+
+    The distributed matrix lives sharded across (simulated) ranks and is
+    never gathered; this handle exposes the aggregate facts the
+    :class:`~repro.core.stages.FilterContract` needs, and rebuilds the
+    matrix out-of-core only if validation explicitly asks for it.
+    """
+
+    def __init__(
+        self,
+        k1_dataset,
+        num_vertices: int,
+        pre_filter_total: float,
+        nnz: int,
+    ) -> None:
+        self._k1_dataset = k1_dataset
+        self._n = int(num_vertices)
+        self._pre_filter_total = float(pre_filter_total)
+        self._nnz = int(nnz)
+
+    @property
+    def num_vertices(self) -> int:
+        return self._n
+
+    @property
+    def nnz(self) -> int:
+        return self._nnz
+
+    @property
+    def pre_filter_entry_total(self) -> float:
+        return self._pre_filter_total
+
+    def to_scipy_csr(self) -> sp.csr_matrix:
+        from repro.core.streaming import streaming_kernel2
+
+        return streaming_kernel2(self._k1_dataset).matrix
+
+
+class ShardParallelExecutor(Executor):
+    """Kernels 2+3 through the distributed (simulated-rank) driver.
+
+    The driver runs exchange → Kernel 2 → Kernel 3 as one fused per-rank
+    program during the Kernel 2 stage; per-rank phase clocks split the
+    wall-clock back into the two kernels (``measured_seconds`` in each
+    stage's details, honoured by the base executor) so sweep records and
+    figures report real per-kernel throughput.  The driver's
+    :class:`~repro.parallel.traffic.TrafficLog` summary lands in the
+    Kernel 3 details.
+    """
+
+    name = "parallel"
+    required_capability = "parallel"
+
+    def _run_filter(self, ctx: StageContext) -> StageOutput:
+        from repro.parallel.driver import run_parallel_pipeline
+
+        config = ctx.config
+        source = ctx.require(ARTIFACT_K1)
+        read_watch = StopWatch().start()
+        u, v = source.read_all()
+        read_seconds = read_watch.stop()
+        run = run_parallel_pipeline(
+            u,
+            v,
+            source.num_vertices,
+            num_ranks=config.parallel_ranks,
+            initial_rank=ctx.backend.initial_rank(config),
+            damping=config.damping,
+            iterations=config.iterations,
+            formula=config.formula,
+            executor="sim",
+        )
+        ctx.scratch["parallel_run"] = run
+        handle = _ParallelAdjacency(
+            source,
+            source.num_vertices,
+            # Indexed, not .get(): a driver that stops reporting the
+            # total must fail loudly, not slip past FilterContract.
+            run.kernel2_details["pre_filter_entry_total"],
+            sum(run.local_nnz),
+        )
+        details: Details = dict(run.kernel2_details)
+        details.update(
+            {
+                "execution": "parallel",
+                "num_ranks": run.num_ranks,
+                "local_nnz": list(run.local_nnz),
+                "edges_processed": len(u),
+                # File read + slowest rank's exchange+K2 phase; the K3
+                # phase (also computed by the fused run) is reported by
+                # the K3 stage from its own phase clock.
+                "measured_seconds": read_seconds + run.kernel2_seconds,
+            }
+        )
+        return handle, details
+
+    def _run_pagerank(self, ctx: StageContext) -> StageOutput:
+        run = ctx.scratch["parallel_run"]
+        config = ctx.config
+        details: Details = {
+            "execution": "parallel",
+            "num_ranks": run.num_ranks,
+            "iterations": config.iterations,
+            "damping": config.damping,
+            "rank_sum": float(run.rank_vector.sum()),
+            "traffic": dict(run.traffic),
+            "measured_seconds": run.kernel3_seconds,
+        }
+        return run.rank_vector, details
+
+
+_EXECUTORS: Dict[str, Type[Executor]] = {
+    SerialExecutor.name: SerialExecutor,
+    StreamingExecutor.name: StreamingExecutor,
+    ShardParallelExecutor.name: ShardParallelExecutor,
+}
+
+# The registry and the config-level mode list (which gates
+# PipelineConfig.execution and the CLI choices) must not drift: fail at
+# import, not at first use, when a strategy is added to only one.
+if set(_EXECUTORS) != set(EXECUTION_MODES):  # pragma: no cover
+    raise RuntimeError(
+        f"executor registry {sorted(_EXECUTORS)} out of sync with "
+        f"config.EXECUTION_MODES {sorted(EXECUTION_MODES)}"
+    )
+
+
+def available_executions() -> Tuple[str, ...]:
+    """Registered execution-strategy names, in definition order."""
+    return tuple(_EXECUTORS)
+
+
+def get_executor(name: str, plan: Optional[ExecutionPlan] = None) -> Executor:
+    """Instantiate an execution strategy by name.
+
+    Raises
+    ------
+    KeyError
+        With the list of valid names when ``name`` is unknown.
+    """
+    try:
+        cls = _EXECUTORS[name]
+    except KeyError:
+        valid = ", ".join(available_executions())
+        raise KeyError(
+            f"unknown execution strategy {name!r}; available: {valid}"
+        ) from None
+    return cls(plan)

@@ -1,9 +1,13 @@
-"""The pipeline driver: sequencing, timing, and contract enforcement.
+"""The pipeline façade: a configured benchmark run, ready to execute.
 
-``Pipeline`` runs the four kernels in order ("each kernel in the
-pipeline must be fully completed before the next kernel can begin"),
-times each one, computes the edges/second metrics, and verifies the
-benchmark's correctness contracts between kernels:
+``Pipeline`` is now a thin shim over the stage-graph machinery: it
+builds the benchmark's default :class:`~repro.core.stages.ExecutionPlan`
+and hands it to the execution strategy named by ``config.execution``
+(serial / streaming / parallel — see :mod:`repro.core.executor`).
+Sequencing ("each kernel in the pipeline must be fully completed before
+the next kernel can begin"), per-kernel timing, and the four
+inter-kernel contracts all live in the plan and executors, so every
+strategy enforces them identically:
 
 * K0 → K1: edge counts match; K1 output is sorted by start vertex;
 * K2: adjacency entries summed to ``M`` before filtering
@@ -16,21 +20,14 @@ Contract checks run *outside* the timed regions.
 
 from __future__ import annotations
 
-import shutil
-import tempfile
-from pathlib import Path
 from typing import Optional
 
-import numpy as np
-
-from repro._util import StopWatch
 from repro.backends.base import Backend
 from repro.backends.registry import get_backend
-from repro.core.config import KernelName, PipelineConfig
-from repro.core.exceptions import KernelContractError
-from repro.core.results import KernelResult, PipelineResult
-from repro.edgeio.dataset import EdgeDataset
-from repro.sort.inmemory import is_sorted_by_start
+from repro.core.config import PipelineConfig
+from repro.core.executor import get_executor
+from repro.core.results import PipelineResult
+from repro.core.stages import ExecutionPlan, default_plan
 
 
 class Pipeline:
@@ -39,9 +36,13 @@ class Pipeline:
     Parameters
     ----------
     config:
-        The run configuration.
+        The run configuration; ``config.execution`` selects the
+        strategy.
     backend:
         Backend instance; resolved from ``config.backend`` when omitted.
+    plan:
+        Stage graph override (defaults to the benchmark's four-stage
+        plan with all contracts attached).
 
     Examples
     --------
@@ -51,9 +52,15 @@ class Pipeline:
     4
     """
 
-    def __init__(self, config: PipelineConfig, backend: Optional[Backend] = None) -> None:
+    def __init__(
+        self,
+        config: PipelineConfig,
+        backend: Optional[Backend] = None,
+        plan: Optional[ExecutionPlan] = None,
+    ) -> None:
         self.config = config
         self.backend = backend if backend is not None else get_backend(config.backend)
+        self.plan = plan if plan is not None else default_plan()
 
     # ------------------------------------------------------------------
     def run(self, *, verify: bool = True) -> PipelineResult:
@@ -66,153 +73,8 @@ class Pipeline:
             only inside tight benchmark loops where the checks' extra
             file reads would perturb I/O caches).
         """
-        config = self.config
-        own_dir = config.data_dir is None
-        base_dir = (
-            Path(tempfile.mkdtemp(prefix="repro-pipeline-"))
-            if own_dir
-            else Path(config.data_dir)
-        )
-        base_dir.mkdir(parents=True, exist_ok=True)
-        result = PipelineResult(config=config)
-        try:
-            # ---- Kernel 0: Generate --------------------------------
-            watch = StopWatch().start()
-            k0_dataset, k0_details = self.backend.kernel0(config, base_dir / "k0")
-            k0_seconds = watch.stop()
-            result.kernels.append(
-                KernelResult(
-                    kernel=KernelName.K0_GENERATE,
-                    seconds=k0_seconds,
-                    edges_processed=config.num_edges,
-                    officially_timed=False,
-                    details=k0_details,
-                )
-            )
-            if verify:
-                self._check_k0(k0_dataset)
-
-            # ---- Kernel 1: Sort ------------------------------------
-            watch = StopWatch().start()
-            k1_dataset, k1_details = self.backend.kernel1(
-                config, k0_dataset, base_dir / "k1"
-            )
-            k1_seconds = watch.stop()
-            result.kernels.append(
-                KernelResult(
-                    kernel=KernelName.K1_SORT,
-                    seconds=k1_seconds,
-                    edges_processed=config.num_edges,
-                    details=k1_details,
-                )
-            )
-            if verify:
-                self._check_k1(k0_dataset, k1_dataset)
-
-            # ---- Kernel 2: Filter ----------------------------------
-            watch = StopWatch().start()
-            handle, k2_details = self.backend.kernel2(config, k1_dataset)
-            k2_seconds = watch.stop()
-            result.kernels.append(
-                KernelResult(
-                    kernel=KernelName.K2_FILTER,
-                    seconds=k2_seconds,
-                    edges_processed=config.num_edges,
-                    details=k2_details,
-                )
-            )
-            if verify:
-                self._check_k2(handle)
-
-            # ---- Kernel 3: PageRank --------------------------------
-            watch = StopWatch().start()
-            rank, k3_details = self.backend.kernel3(config, handle)
-            k3_seconds = watch.stop()
-            result.kernels.append(
-                KernelResult(
-                    kernel=KernelName.K3_PAGERANK,
-                    seconds=k3_seconds,
-                    edges_processed=config.iterations * config.num_edges,
-                    details=k3_details,
-                )
-            )
-            result.rank = rank
-            if verify:
-                self._check_k3(rank)
-
-            if config.validate:
-                from repro.pagerank.validate import validate_rank
-
-                report = validate_rank(
-                    handle.to_scipy_csr(), rank, damping=config.damping
-                )
-                result.validation = report.to_dict()
-            return result
-        finally:
-            if own_dir and not config.keep_files:
-                shutil.rmtree(base_dir, ignore_errors=True)
-
-    # ------------------------------------------------------------------
-    # Contract checks
-    # ------------------------------------------------------------------
-    def _check_k0(self, dataset: EdgeDataset) -> None:
-        expected = self.config.num_edges
-        if dataset.num_edges != expected:
-            raise KernelContractError(
-                f"Kernel 0 wrote {dataset.num_edges} edges, spec requires "
-                f"M = {expected}"
-            )
-        if dataset.num_vertices != self.config.num_vertices:
-            raise KernelContractError(
-                f"Kernel 0 dataset declares N = {dataset.num_vertices}, "
-                f"config requires {self.config.num_vertices}"
-            )
-
-    def _check_k1(self, source: EdgeDataset, output: EdgeDataset) -> None:
-        if output.num_edges != source.num_edges:
-            raise KernelContractError(
-                f"Kernel 1 changed the edge count: {source.num_edges} -> "
-                f"{output.num_edges}"
-            )
-        previous_last = None
-        for u, _ in output.iter_shards():
-            if len(u) == 0:
-                continue
-            if not is_sorted_by_start(u):
-                raise KernelContractError(
-                    "Kernel 1 output is not sorted by start vertex within "
-                    "a shard"
-                )
-            if previous_last is not None and u[0] < previous_last:
-                raise KernelContractError(
-                    "Kernel 1 output is not sorted across shard boundaries"
-                )
-            previous_last = int(u[-1])
-
-    def _check_k2(self, handle) -> None:
-        expected = float(self.config.num_edges)
-        total = handle.pre_filter_entry_total
-        if abs(total - expected) > 1e-6 * max(expected, 1.0):
-            raise KernelContractError(
-                f"Kernel 2 adjacency entries sum to {total}, spec requires "
-                f"M = {expected}"
-            )
-        if handle.num_vertices != self.config.num_vertices:
-            raise KernelContractError(
-                f"Kernel 2 matrix is {handle.num_vertices}-dimensional, "
-                f"config requires N = {self.config.num_vertices}"
-            )
-
-    def _check_k3(self, rank: np.ndarray) -> None:
-        n = self.config.num_vertices
-        if rank.shape != (n,):
-            raise KernelContractError(
-                f"Kernel 3 rank vector has shape {rank.shape}, expected ({n},)"
-            )
-        if not np.isfinite(rank).all():
-            raise KernelContractError("Kernel 3 rank vector has non-finite entries")
-        if (rank < 0).any():
-            raise KernelContractError("Kernel 3 rank vector has negative entries")
+        executor = get_executor(self.config.execution, self.plan)
+        return executor.execute(self.config, self.backend, verify=verify)
 
 
 def run_pipeline(
@@ -225,7 +87,7 @@ def run_pipeline(
 
     Examples
     --------
-    >>> from repro.core.config import PipelineConfig
+    >>> from repro.core.config import KernelName, PipelineConfig
     >>> res = run_pipeline(PipelineConfig(scale=6, seed=1, backend="numpy"))
     >>> res.kernel(KernelName.K3_PAGERANK).edges_processed
     20480

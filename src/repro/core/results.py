@@ -55,14 +55,29 @@ class KernelResult:
             return float("inf")
         return self.edges_processed / self.seconds
 
+    @property
+    def cached(self) -> bool:
+        """Whether the output was served from the artifact cache.
+
+        A cached kernel's ``seconds`` measures a cache read, so its
+        throughput must not be presented as kernel performance.
+        """
+        return self.details.get("artifact_cache") == "hit"
+
     def to_dict(self) -> Dict[str, object]:
-        """JSON-safe encoding."""
+        """JSON-safe encoding.
+
+        ``edges_per_second`` is ``None`` for cached kernels — consumers
+        get an explicit gap instead of cache-read speed masquerading as
+        throughput (matching the report/figure handling).
+        """
         return {
             "kernel": self.kernel.value,
             "seconds": self.seconds,
             "edges_processed": self.edges_processed,
-            "edges_per_second": self.edges_per_second,
+            "edges_per_second": None if self.cached else self.edges_per_second,
             "officially_timed": self.officially_timed,
+            "cached": self.cached,
             "details": _json_safe(self.details),
         }
 

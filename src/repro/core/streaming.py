@@ -29,6 +29,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro._util import check_positive_int
+from repro.core.config import DEFAULT_STREAMING_BATCH_EDGES
 from repro.edgeio.dataset import EdgeDataset
 
 
@@ -42,16 +43,23 @@ class StreamingKernel2Result:
         Row-normalised CSR matrix (same value as the in-memory path).
     pre_filter_entry_total:
         Sum of adjacency counts before elimination (must equal ``M``).
+        Also the count of edge records ingested in pass 1 (each input
+        edge contributes 1 to exactly one accumulated count).
     eliminated_columns:
         Number of zeroed columns (super-node + leaves).
     batches:
         Batches streamed in pass 1 (instrumentation).
+    unique_triples:
+        Deduplicated ``(row, col, count)`` triples spilled by pass 1 and
+        re-read by pass 2 — the actual matrix-assembly work, which batch
+        deduplication makes smaller than ``M``.
     """
 
     matrix: sp.csr_matrix
     pre_filter_entry_total: float
     eliminated_columns: int
     batches: int
+    unique_triples: int = 0
 
 
 def _dedup_sorted_batch(
@@ -118,7 +126,7 @@ def _stream_dedup(
 def streaming_kernel2(
     dataset: EdgeDataset,
     *,
-    batch_edges: int = 1 << 18,
+    batch_edges: int = DEFAULT_STREAMING_BATCH_EDGES,
     scratch_dir: Optional[Path] = None,
 ) -> StreamingKernel2Result:
     """Run Kernel 2 with memory bounded by ``O(batch_edges + N)``.
@@ -229,6 +237,7 @@ def streaming_kernel2(
             pre_filter_entry_total=float(total),
             eliminated_columns=int(eliminate.sum()),
             batches=batches,
+            unique_triples=triples,
         )
     finally:
         spill_path.unlink(missing_ok=True)

@@ -9,6 +9,7 @@ the "per-experiment index" in DESIGN.md always has a runnable target.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from repro.harness.figures import FIGURE_KERNELS, build_figure_series, render_figure
@@ -43,24 +44,29 @@ class ExperimentOutput:
 
 
 def _run_table1(scales: Optional[List[int]], backends: Optional[List[str]],
-                repeats: int) -> ExperimentOutput:
-    del scales, repeats
+                repeats: int, execution: str,
+                cache_dir: Optional[Path]) -> ExperimentOutput:
+    del scales, repeats, execution, cache_dir
     return ExperimentOutput("table1", render_sloc(backends))
 
 
 def _run_table2(scales: Optional[List[int]], backends: Optional[List[str]],
-                repeats: int) -> ExperimentOutput:
-    del backends, repeats
+                repeats: int, execution: str,
+                cache_dir: Optional[Path]) -> ExperimentOutput:
+    del backends, repeats, execution, cache_dir
     return ExperimentOutput("table2", render_run_sizes(scales))
 
 
 def _figure_runner(figure_id: str) -> Callable[..., ExperimentOutput]:
     def run(scales: Optional[List[int]], backends: Optional[List[str]],
-            repeats: int) -> ExperimentOutput:
+            repeats: int, execution: str,
+            cache_dir: Optional[Path]) -> ExperimentOutput:
         plan = SweepPlan(
             scales=scales or DEFAULT_FIGURE_SCALES,
             backends=backends or DEFAULT_FIGURE_BACKENDS,
             repeats=repeats,
+            execution=execution,
+            cache_dir=cache_dir,
         )
         records = run_sweep(plan)
         figure = build_figure_series(figure_id, records)
@@ -96,6 +102,8 @@ def run_experiment(
     scales: Optional[List[int]] = None,
     backends: Optional[List[str]] = None,
     repeats: int = 1,
+    execution: str = "serial",
+    cache_dir: Optional[Path] = None,
 ) -> ExperimentOutput:
     """Run one registered experiment.
 
@@ -107,6 +115,11 @@ def run_experiment(
         Override the default sweep grid (figures) or table rows.
     repeats:
         Repetitions per sweep cell (fastest kept).
+    execution:
+        Execution strategy for figure sweeps (tables ignore it).
+    cache_dir:
+        Kernel 0/1 artifact-cache root for figure sweeps; repeated
+        cells reuse the generated/sorted graph instead of rebuilding it.
 
     Raises
     ------
@@ -120,4 +133,4 @@ def run_experiment(
         raise KeyError(
             f"unknown experiment {experiment_id!r}; available: {valid}"
         ) from None
-    return runner(scales, backends, repeats)
+    return runner(scales, backends, repeats, execution, cache_dir)

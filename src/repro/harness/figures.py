@@ -53,6 +53,10 @@ def build_figure_series(
 ) -> FigureSeries:
     """Reshape sweep records into one paper figure's series.
 
+    Artifact-cache hits (``record.cached``) are excluded: their
+    edges/second measures a manifest read, not the kernel, and must not
+    appear as generate/sort throughput in the paper figures.
+
     Raises
     ------
     KeyError
@@ -65,7 +69,7 @@ def build_figure_series(
         raise KeyError(f"unknown figure {figure_id!r}; available: {valid}") from None
     figure = FigureSeries(figure_id=figure_id, kernel=kernel)
     for record in records:
-        if record.kernel != kernel.value:
+        if record.kernel != kernel.value or record.cached:
             continue
         figure.series.setdefault(record.backend, []).append(
             (record.num_edges, record.edges_per_second)

@@ -36,6 +36,11 @@ class MeasurementRecord:
         The benchmark metric (``M/t`` or ``20M/t``).
     officially_timed:
         False for Kernel 0.
+    cached:
+        True when the kernel's output came from the artifact cache
+        (``details["artifact_cache"] == "hit"``) — ``seconds`` then
+        measures a cache read, not the kernel's real work, and must not
+        be presented as generate/sort throughput.
     """
 
     backend: str
@@ -45,6 +50,7 @@ class MeasurementRecord:
     seconds: float
     edges_per_second: float
     officially_timed: bool
+    cached: bool = False
 
     @classmethod
     def from_result(cls, result: PipelineResult) -> List["MeasurementRecord"]:
@@ -60,6 +66,9 @@ class MeasurementRecord:
                     seconds=kernel_result.seconds,
                     edges_per_second=kernel_result.edges_per_second,
                     officially_timed=kernel_result.officially_timed,
+                    cached=(
+                        kernel_result.details.get("artifact_cache") == "hit"
+                    ),
                 )
             )
         return records
@@ -80,7 +89,7 @@ def save_records(records: List[MeasurementRecord], path: Path) -> None:
             fh,
             fieldnames=[
                 "backend", "scale", "num_edges", "kernel", "seconds",
-                "edges_per_second", "officially_timed",
+                "edges_per_second", "officially_timed", "cached",
             ],
         )
         writer.writeheader()
@@ -108,6 +117,9 @@ def load_records(path: Path) -> List[MeasurementRecord]:
                 edges_per_second=float(row["edges_per_second"]),
                 officially_timed=(
                     row["officially_timed"] in (True, "True", "true", "1")
+                ),
+                cached=(
+                    row.get("cached", False) in (True, "True", "true", "1")
                 ),
             )
         )

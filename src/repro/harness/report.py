@@ -149,17 +149,31 @@ def build_report(
         lines.append("```")
         lines.append("")
 
-    # Benchmark-total summary: officially timed kernels only.
+    # Benchmark-total summary: officially timed kernels only.  Cached
+    # records measure a cache read, not the kernel, so they are left out
+    # of the sum and the row is marked incomplete.
     lines.append("## Officially timed totals (K1 + K2 + K3)")
     lines.append("")
     lines.append("| backend | scale | total seconds |")
     lines.append("|---|---|---|")
     totals: Dict[tuple, float] = {}
+    incomplete: set = set()
     for record in records:
-        if record.officially_timed:
-            key = (record.backend, record.scale)
-            totals[key] = totals.get(key, 0.0) + record.seconds
+        if not record.officially_timed:
+            continue
+        key = (record.backend, record.scale)
+        if record.cached:
+            totals.setdefault(key, 0.0)
+            incomplete.add(key)
+            continue
+        totals[key] = totals.get(key, 0.0) + record.seconds
     for (backend, scale), seconds in sorted(totals.items()):
-        lines.append(f"| {backend} | {scale} | {seconds:.4f} |")
+        marker = " *" if (backend, scale) in incomplete else ""
+        lines.append(f"| {backend} | {scale} | {seconds:.4f}{marker} |")
     lines.append("")
+    if incomplete:
+        lines.append("\\* total omits kernels served from the artifact "
+                     "cache (cache-read time is not kernel time); rerun "
+                     "without --cache-dir for a full total.")
+        lines.append("")
     return "\n".join(lines)

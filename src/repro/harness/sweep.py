@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.core.config import PipelineConfig
@@ -35,9 +36,18 @@ class SweepPlan:
         backends, modulo the pure-python generator's own stream).
     repeats:
         Runs per cell; the *fastest* time per kernel is kept.
+    execution:
+        Execution strategy for every cell (``serial`` / ``streaming`` /
+        ``parallel`` — see :mod:`repro.core.executor`).
+    cache_dir:
+        Kernel 0/1 artifact-cache root shared by all cells.  With
+        ``repeats > 1`` (or across sweep reruns) the graph is generated
+        and sorted once per (backend, scale) and then reused — the
+        repeat cost collapses to a cache read, which the kernel details
+        record as ``artifact_cache: hit``.
     config_overrides:
         Extra :class:`PipelineConfig` fields applied to every run
-        (e.g. ``{"num_files": 4}``).
+        (e.g. ``{"num_files": 4}``); they win over the fields above.
     """
 
     scales: List[int]
@@ -45,6 +55,8 @@ class SweepPlan:
     edge_factor: int = 16
     seed: int = 1
     repeats: int = 1
+    execution: str = "serial"
+    cache_dir: Optional[Path] = None
     config_overrides: Dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -60,15 +72,16 @@ class SweepPlan:
         out = []
         for backend in self.backends:
             for scale in self.scales:
-                out.append(
-                    PipelineConfig(
-                        scale=scale,
-                        edge_factor=self.edge_factor,
-                        seed=self.seed,
-                        backend=backend,
-                        **self.config_overrides,  # type: ignore[arg-type]
-                    )
-                )
+                fields: Dict[str, object] = {
+                    "scale": scale,
+                    "edge_factor": self.edge_factor,
+                    "seed": self.seed,
+                    "backend": backend,
+                    "execution": self.execution,
+                    "cache_dir": self.cache_dir,
+                }
+                fields.update(self.config_overrides)
+                out.append(PipelineConfig(**fields))  # type: ignore[arg-type]
         return out
 
 
@@ -92,13 +105,56 @@ def run_sweep(
         Optional callback ``fn(config, repeat_index)`` invoked before
         each run (the CLI uses it for status lines).
 
+    Raises
+    ------
+    ValueError
+        When no backend in the plan supports the requested execution
+        strategy.  Backends lacking the capability (e.g. ``python``
+        under ``execution="streaming"``) are skipped with a warning so
+        the default backend grid still works with non-serial
+        strategies.
+
     Notes
     -----
     With ``repeats > 1`` the record kept for each kernel is the one
-    with the smallest measured time across repeats.
+    with the smallest measured time across repeats — except that an
+    artifact-cache *hit* (K0/K1 reopened from ``plan.cache_dir``) never
+    displaces a real measurement: a cache read times the manifest load,
+    not the generate/sort work the figures report.  Hit timings are
+    kept only when every repeat hit (e.g. a warm cache from an earlier
+    sweep); such records carry ``cached=True`` and a warning is logged,
+    because their edges/second is cache-read speed, not throughput.
     """
-    records: List[MeasurementRecord] = []
+    from repro.backends.registry import get_backend
+    from repro.core.executor import get_executor
+
+    configs = []
+    capability_memo: Dict[str, str] = {}
     for config in plan.configs():
+        # config_overrides may change execution per plan, not per cell,
+        # but memoise anyway — no need to build a plan's Stage/Contract
+        # graph once per (backend, scale) just to read a class attribute.
+        if config.execution not in capability_memo:
+            capability_memo[config.execution] = get_executor(
+                config.execution
+            ).required_capability
+        needed = capability_memo[config.execution]
+        if needed not in get_backend(config.backend).capabilities:
+            logger.warning(
+                "skipping backend=%s at scale=%d: no %r capability for "
+                "execution=%s",
+                config.backend, config.scale, needed, config.execution,
+            )
+            continue
+        configs.append(config)
+    if not configs:
+        raise ValueError(
+            f"no backend in {plan.backends} supports execution="
+            f"{plan.execution!r}"
+        )
+
+    records: List[MeasurementRecord] = []
+    for config in configs:
         best: Dict[str, MeasurementRecord] = {}
         for repeat in range(plan.repeats):
             if progress is not None:
@@ -110,7 +166,21 @@ def run_sweep(
             result = run_pipeline(config, verify=verify)
             for record in MeasurementRecord.from_result(result):
                 current = best.get(record.kernel)
-                if current is None or record.seconds < current.seconds:
+                if (
+                    current is None
+                    or (current.cached and not record.cached)
+                    or (current.cached == record.cached
+                        and record.seconds < current.seconds)
+                ):
                     best[record.kernel] = record
-        records.extend(best[k] for k in sorted(best))
+        for kernel in sorted(best):
+            record = best[kernel]
+            if record.cached:
+                logger.warning(
+                    "kept record for backend=%s scale=%d %s is an "
+                    "artifact-cache read (every repeat hit); its "
+                    "edges/second is not %s throughput",
+                    record.backend, record.scale, kernel, kernel,
+                )
+            records.append(record)
     return records

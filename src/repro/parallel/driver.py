@@ -9,6 +9,7 @@ the performance models.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -43,6 +44,12 @@ class ParallelRunResult:
         Rank-0 metrics from the distributed Kernel 2.
     local_nnz:
         Per-rank stored entries after filtering (load-balance signal).
+    kernel2_seconds / kernel3_seconds:
+        Slowest rank's wall-clock for the exchange+K2 phase and the K3
+        phase.  Communication (allreduce/bcast) synchronises the ranks
+        at each phase boundary, so the per-rank maximum approximates
+        the phase's global wall-clock even though the fused program
+        never barriers explicitly.
     """
 
     rank_vector: np.ndarray
@@ -50,6 +57,8 @@ class ParallelRunResult:
     traffic: Dict[str, object] = field(default_factory=dict)
     kernel2_details: Dict[str, object] = field(default_factory=dict)
     local_nnz: List[int] = field(default_factory=list)
+    kernel2_seconds: float = 0.0
+    kernel3_seconds: float = 0.0
 
 
 def _rank_program(
@@ -71,8 +80,10 @@ def _rank_program(
     end = len(u) if comm.rank == comm.size - 1 else start + per_rank
     my_u, my_v = u[start:end], v[start:end]
 
+    t0 = time.perf_counter()
     local_u, local_v = exchange_edges_by_owner(comm, partition, my_u, my_v)
     matrix, k2_details = parallel_kernel2(comm, partition, local_u, local_v)
+    t1 = time.perf_counter()
     rank_vector = parallel_kernel3(
         comm,
         matrix,
@@ -81,7 +92,8 @@ def _rank_program(
         iterations=iterations,
         formula=formula,
     )
-    return rank_vector, k2_details, matrix.nnz
+    t2 = time.perf_counter()
+    return rank_vector, k2_details, matrix.nnz, t1 - t0, t2 - t1
 
 
 def run_parallel_pipeline(
@@ -146,4 +158,6 @@ def run_parallel_pipeline(
         traffic=traffic_summary,
         kernel2_details=outputs[0][1],
         local_nnz=[out[2] for out in outputs],
+        kernel2_seconds=max(out[3] for out in outputs),
+        kernel3_seconds=max(out[4] for out in outputs),
     )

@@ -1,0 +1,195 @@
+"""Executor parity: every execution strategy computes the same answer.
+
+The stage-graph refactor's core promise — serial, streaming, and
+shard-parallel execution are *strategies over one pipeline*, not three
+pipelines — is only real if they agree numerically and enforce the same
+contracts.  These tests pin both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends.registry import get_backend
+from repro.core.config import KernelName, PipelineConfig
+from repro.core.exceptions import ExecutorCapabilityError, KernelContractError
+from repro.core.executor import available_executions
+from repro.core.pipeline import run_pipeline
+
+#: Backends declaring every execution capability (see Backend.capabilities).
+FULL_CAPABILITY_BACKENDS = ["scipy", "numpy"]
+
+
+def _config(backend: str, execution: str, scale: int = 8) -> PipelineConfig:
+    return PipelineConfig(
+        scale=scale,
+        seed=11,
+        backend=backend,
+        iterations=10,
+        num_files=2,
+        execution=execution,
+        parallel_ranks=3,
+        streaming_batch_edges=512,  # force multiple pass-1 batches
+    )
+
+
+class TestRankParity:
+    @pytest.mark.parametrize("backend", FULL_CAPABILITY_BACKENDS)
+    @pytest.mark.parametrize("execution", ["streaming", "parallel"])
+    def test_identical_rank_vectors(self, backend, execution):
+        serial = run_pipeline(_config(backend, "serial"))
+        other = run_pipeline(_config(backend, execution))
+        assert other.rank is not None
+        np.testing.assert_allclose(
+            other.rank, serial.rank, rtol=1e-12, atol=1e-15
+        )
+
+    @pytest.mark.parametrize("backend", FULL_CAPABILITY_BACKENDS)
+    def test_all_strategies_agree_at_scale_10(self, backend):
+        results = {
+            execution: run_pipeline(_config(backend, execution, scale=10))
+            for execution in available_executions()
+        }
+        reference = results["serial"].rank
+        for execution, result in results.items():
+            np.testing.assert_allclose(
+                result.rank, reference, rtol=1e-12, atol=1e-15,
+                err_msg=f"{execution} diverged from serial",
+            )
+
+    def test_every_strategy_reports_four_kernels(self):
+        for execution in available_executions():
+            result = run_pipeline(_config("scipy", execution))
+            assert [k.kernel for k in result.kernels] == list(KernelName)
+            assert result.benchmark_seconds >= 0.0
+
+
+class TestContractParityAcrossExecutors:
+    """The same violation must be caught identically by every strategy."""
+
+    @pytest.mark.parametrize("execution", ["serial", "streaming", "parallel"])
+    def test_k0_count_violation_caught(self, execution, tmp_path):
+        from broken_backends import BrokenK0
+
+        config = _config("scipy", execution, scale=6)
+        with pytest.raises(KernelContractError, match="spec requires"):
+            run_pipeline(config, backend=BrokenK0())
+
+    @pytest.mark.parametrize("execution", ["serial", "streaming", "parallel"])
+    def test_k1_unsorted_caught(self, execution):
+        from broken_backends import UnsortedK1
+
+        config = _config("scipy", execution, scale=6)
+        with pytest.raises((KernelContractError, ValueError), match="sorted"):
+            # The streaming/parallel K2 paths may themselves reject
+            # unsorted input (ValueError) before the contract runs;
+            # either way the violation surfaces loudly.
+            run_pipeline(config, backend=UnsortedK1())
+
+
+class TestCapabilityGating:
+    @pytest.mark.parametrize("backend", ["python", "dataframe", "graphblas"])
+    def test_streaming_needs_capability(self, backend):
+        with pytest.raises(ExecutorCapabilityError, match="streaming"):
+            run_pipeline(PipelineConfig(scale=6, backend=backend,
+                                        execution="streaming"))
+
+    def test_sweep_skips_unsupported_backends(self):
+        from repro.harness.sweep import SweepPlan, run_sweep
+
+        plan = SweepPlan(scales=[6], backends=["python", "scipy"],
+                         execution="streaming")
+        records = run_sweep(plan)
+        assert {r.backend for r in records} == {"scipy"}
+
+    def test_sweep_with_no_capable_backend_raises(self):
+        from repro.harness.sweep import SweepPlan, run_sweep
+
+        plan = SweepPlan(scales=[6], backends=["python"],
+                         execution="parallel")
+        with pytest.raises(ValueError, match="supports execution"):
+            run_sweep(plan)
+
+    def test_capability_error_is_value_error(self):
+        # The CLI maps ValueError to exit code 2; keep that contract.
+        with pytest.raises(ValueError):
+            run_pipeline(PipelineConfig(scale=6, backend="python",
+                                        execution="parallel"))
+
+
+class TestStreamingDetails:
+    def test_k2_reports_actual_ingested_edges(self):
+        result = run_pipeline(_config("scipy", "streaming"))
+        k2 = result.kernel(KernelName.K2_FILTER)
+        config = result.config
+        assert k2.edges_processed == config.num_edges
+        assert k2.details["edges_processed"] == config.num_edges
+        # Batch dedup means strictly fewer spilled triples than edges
+        # for a Kronecker graph with duplicates at this scale.
+        assert 0 < k2.details["unique_triples"] < config.num_edges
+        assert k2.details["batches"] > 1
+
+    def test_parallel_k3_carries_traffic(self):
+        result = run_pipeline(_config("scipy", "parallel"))
+        k3 = result.kernel(KernelName.K3_PAGERANK)
+        traffic = k3.details["traffic"]
+        assert traffic["total_bytes"] > 0
+        assert "allreduce" in traffic["bytes_by_op"]
+        k2 = result.kernel(KernelName.K2_FILTER)
+        assert k2.details["num_ranks"] == 3
+
+    def test_parallel_per_kernel_seconds_are_real(self):
+        # The fused driver run is split back into per-kernel clocks so
+        # throughput records stay meaningful (no ~0s K3 / double K2).
+        result = run_pipeline(_config("scipy", "parallel"))
+        k2 = result.kernel(KernelName.K2_FILTER)
+        k3 = result.kernel(KernelName.K3_PAGERANK)
+        assert k3.seconds > 0.0
+        assert k3.seconds == k3.details["measured_seconds"]
+        assert k2.seconds >= k2.details["measured_seconds"] - 1e-9
+        assert np.isfinite(k3.edges_per_second)
+
+
+class TestArtifactCache:
+    def test_sweep_rerun_hits_cache(self, tmp_path):
+        cache = tmp_path / "artifacts"
+        config = PipelineConfig(scale=7, seed=4, backend="scipy",
+                                cache_dir=cache)
+        first = run_pipeline(config)
+        second = run_pipeline(config)
+        for kernel in (KernelName.K0_GENERATE, KernelName.K1_SORT):
+            assert first.kernel(kernel).details["artifact_cache"] == "miss"
+            assert second.kernel(kernel).details["artifact_cache"] == "hit"
+        np.testing.assert_array_equal(first.rank, second.rank)
+
+    def test_cache_shared_across_executions(self, tmp_path):
+        cache = tmp_path / "artifacts"
+        base = _config("scipy", "serial", scale=7)
+        run_pipeline(base.with_overrides(cache_dir=cache))
+        streamed = run_pipeline(
+            base.with_overrides(cache_dir=cache, execution="streaming")
+        )
+        assert (streamed.kernel(KernelName.K0_GENERATE)
+                .details["artifact_cache"] == "hit")
+        assert (streamed.kernel(KernelName.K1_SORT)
+                .details["artifact_cache"] == "hit")
+
+    def test_key_distinguishes_seed_and_scale(self, tmp_path):
+        cache = tmp_path / "artifacts"
+        base = PipelineConfig(scale=6, seed=1, cache_dir=cache)
+        run_pipeline(base)
+        other = run_pipeline(base.with_overrides(seed=2))
+        assert (other.kernel(KernelName.K0_GENERATE)
+                .details["artifact_cache"] == "miss")
+
+    def test_run_sweep_repeats_reuse_artifacts(self, tmp_path):
+        from repro.harness.sweep import SweepPlan, run_sweep
+
+        plan = SweepPlan(scales=[6], backends=["scipy"], repeats=3,
+                         cache_dir=tmp_path / "artifacts")
+        records = run_sweep(plan)
+        assert len(records) == 4  # one best record per kernel
+        # The cache directory was populated by the first repeat.
+        assert any((tmp_path / "artifacts" / "k0").iterdir())
+        assert any((tmp_path / "artifacts" / "k1").iterdir())

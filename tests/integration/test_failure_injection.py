@@ -11,6 +11,11 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from broken_backends import BrokenK0 as _BrokenK0
+from broken_backends import LossyK2 as _LossyK2
+from broken_backends import NaNK3 as _NaNK3
+from broken_backends import UnsortedK1 as _UnsortedK1
+
 from repro.backends.base import Backend
 from repro.backends.scipy_backend import ScipyBackend
 from repro.core.config import PipelineConfig
@@ -18,60 +23,6 @@ from repro.core.exceptions import KernelContractError
 from repro.core.pipeline import Pipeline
 from repro.edgeio.dataset import EdgeDataset
 from repro.edgeio.errors import CorruptEdgeFileError, DatasetLayoutError
-
-
-class _BrokenK0(ScipyBackend):
-    """Writes fewer edges than the spec demands."""
-
-    name = "broken-k0"
-
-    def kernel0(self, config, out_dir):
-        dataset, details = super().kernel0(config, out_dir)
-        u, v = dataset.read_all()
-        short = EdgeDataset.write(
-            Path(str(out_dir) + "-short"), u[:-5], v[:-5],
-            num_vertices=config.num_vertices,
-        )
-        return short, details
-
-
-class _UnsortedK1(ScipyBackend):
-    """Skips the sort, violating Kernel 1's contract."""
-
-    name = "broken-k1"
-
-    def kernel1(self, config, source, out_dir):
-        u, v = source.read_all()
-        # Deliberately reverse-sort to guarantee disorder.
-        order = np.argsort(-u)
-        dataset = EdgeDataset.write(
-            out_dir, u[order], v[order],
-            num_vertices=source.num_vertices, num_shards=config.num_files,
-        )
-        return dataset, {}
-
-
-class _LossyK2(ScipyBackend):
-    """Drops edges before counting, breaking sum(A) == M."""
-
-    name = "broken-k2"
-
-    def kernel2(self, config, source):
-        handle, details = super().kernel2(config, source)
-        handle._pre_filter_total -= 3.0  # simulate lost edges
-        return handle, details
-
-
-class _NaNK3(ScipyBackend):
-    """Returns a poisoned rank vector."""
-
-    name = "broken-k3"
-
-    def kernel3(self, config, matrix):
-        rank, details = super().kernel3(config, matrix)
-        rank = rank.copy()
-        rank[0] = np.nan
-        return rank, details
 
 
 class TestContractEnforcement:

@@ -34,6 +34,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figures", "--id", "fig9"])
 
+    def test_run_execution_choices(self):
+        args = build_parser().parse_args(["run", "--execution", "streaming"])
+        assert args.execution == "streaming"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--execution", "turbo"])
+
+    def test_run_verify_and_validate_flags_are_independent(self):
+        args = build_parser().parse_args(
+            ["run", "--validate", "--no-validate", "--no-verify"]
+        )
+        assert args.validate and args.no_validate and args.no_verify
+        defaults = build_parser().parse_args(["run"])
+        assert not defaults.no_validate and not defaults.no_verify
+
 
 class TestCommands:
     def test_info(self, capsys):
@@ -66,6 +80,79 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "validation: PASS" in out
+
+    def test_no_validate_skips_only_validation(self, capsys):
+        # Contracts still run (and pass); the eigenvector check is off.
+        code = main(["run", "--scale", "6", "--validate", "--no-validate"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "validation:" not in out
+        assert "k3-pagerank" in out
+
+    def test_no_verify_skips_contracts_but_not_validation(self, capsys):
+        code = main(["run", "--scale", "6", "--validate", "--no-verify"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "validation: PASS" in out
+
+    def test_run_streaming_execution(self, capsys):
+        assert main(["run", "--scale", "6", "--execution", "streaming",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        k2 = [k for k in doc["kernels"] if k["kernel"] == "k2-filter"][0]
+        assert k2["details"]["execution"] == "streaming"
+
+    def test_run_parallel_execution(self, capsys):
+        assert main(["run", "--scale", "6", "--execution", "parallel",
+                     "--ranks", "2", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        k3 = [k for k in doc["kernels"] if k["kernel"] == "k3-pagerank"][0]
+        assert k3["details"]["traffic"]["total_bytes"] > 0
+
+    def test_run_streaming_rejected_for_python_backend(self, capsys):
+        code = main(["run", "--scale", "6", "--backend", "python",
+                     "--execution", "streaming"])
+        assert code == 2
+        assert "streaming" in capsys.readouterr().err
+
+    def test_run_cache_dir_round_trip(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert main(["run", "--scale", "6", "--cache-dir", str(cache),
+                     "--json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(["run", "--scale", "6", "--cache-dir", str(cache),
+                     "--json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        by_kernel = {k["kernel"]: k for k in second["kernels"]}
+        assert by_kernel["k0-generate"]["details"]["artifact_cache"] == "hit"
+        assert by_kernel["k1-sort"]["details"]["artifact_cache"] == "hit"
+        # JSON consumers get an explicit gap, not cache-read "throughput".
+        assert by_kernel["k0-generate"]["cached"] is True
+        assert by_kernel["k0-generate"]["edges_per_second"] is None
+        assert by_kernel["k2-filter"]["cached"] is False
+        assert by_kernel["k2-filter"]["edges_per_second"] > 0
+        assert (first["rank_summary"]["argmax"]
+                == second["rank_summary"]["argmax"])
+
+    def test_run_report_marks_cache_hits(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert main(["run", "--scale", "6", "--cache-dir", str(cache)]) == 0
+        capsys.readouterr()
+        assert main(["run", "--scale", "6", "--cache-dir", str(cache)]) == 0
+        out = capsys.readouterr().out
+        # Cache reads are labelled and their speed is not presented as
+        # generate/sort throughput.
+        assert "k0-generate (cache hit)" in out
+        assert "k1-sort (cache hit)" in out
+        assert "k2-filter (cache hit)" not in out
+
+    def test_sweep_default_backends_with_streaming(self, capsys):
+        # The default backend list includes serial-only backends; the
+        # sweep must skip them rather than abort.
+        assert main(["sweep", "--scales", "6",
+                     "--execution", "streaming"]) == 0
+        out = capsys.readouterr().out
+        assert "scipy" in out and "numpy" in out
 
     def test_run_keeps_files_in_data_dir(self, tmp_path, capsys):
         assert main(["run", "--scale", "6", "--data-dir", str(tmp_path)]) == 0
