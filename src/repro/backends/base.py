@@ -75,7 +75,13 @@ class Backend(abc.ABC):
     #:   backend a scipy CSR matrix via :meth:`adjacency_from_csr` and
     #:   its Kernel 3 will accept the resulting handle;
     #: * ``"parallel"`` — the sharded K2+K3 path produces rank vectors
-    #:   numerically matching this backend's serial output.
+    #:   numerically matching this backend's serial output;
+    #: * ``"async"`` — the overlapped executor's generic Kernel 0/1
+    #:   tasks reproduce this backend's serial kernel output (true for
+    #:   the shared-generator numpy-family backends, not for the
+    #:   pure-python backend with its own random stream), and
+    #:   :meth:`adjacency_from_csr` is implemented for the pipelined
+    #:   Kernel 2 hand-off.
     capabilities: frozenset = frozenset({"serial"})
 
     # ------------------------------------------------------------------

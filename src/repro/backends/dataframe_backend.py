@@ -57,6 +57,19 @@ class DataframeBackend(Backend):
     """Columnar-dataframe implementation of all four kernels."""
 
     name = "dataframe"
+    capabilities = frozenset({"serial", "streaming", "async"})
+
+    def adjacency_from_csr(self, matrix, pre_filter_total):
+        # CSR -> COO yields row-major (u, then v) triples — the same
+        # order the serial Kernel 2's key-groupby produces, so Kernel
+        # 3's per-edge contribution sums see an identical ordering.
+        coo = matrix.tocoo()
+        edges = Frame({
+            "u": coo.row.astype(np.int64),
+            "v": coo.col.astype(np.int64),
+            "weight": coo.data.astype(np.float64),
+        })
+        return FrameAdjacency(matrix.shape[0], edges, pre_filter_total)
 
     # ------------------------------------------------------------------
     def kernel0(self, config: PipelineConfig, out_dir: Path) -> KernelOutput[EdgeDataset]:

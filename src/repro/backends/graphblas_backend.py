@@ -55,6 +55,20 @@ class GraphBlasBackend(Backend):
     """GraphBLAS-lite implementation of all four kernels."""
 
     name = "graphblas"
+    capabilities = frozenset({"serial", "streaming", "async"})
+
+    def adjacency_from_csr(self, matrix, pre_filter_total):
+        # scipy CSR and repro.grb.Matrix share the same storage layout,
+        # so adoption is a zero-copy re-wrap of the three arrays.
+        csr = matrix.tocsr()
+        adopted = Matrix(
+            csr.shape[0],
+            csr.shape[1],
+            csr.indptr.astype(np.int64),
+            csr.indices.astype(np.int64),
+            csr.data.astype(np.float64),
+        )
+        return GrbAdjacency(adopted, pre_filter_total)
 
     # ------------------------------------------------------------------
     def kernel0(self, config: PipelineConfig, out_dir: Path) -> KernelOutput[EdgeDataset]:

@@ -85,7 +85,7 @@ class NumpyBackend(Backend):
     """Hand-rolled numpy implementation of all four kernels."""
 
     name = "numpy"
-    capabilities = frozenset({"serial", "streaming", "parallel"})
+    capabilities = frozenset({"serial", "streaming", "parallel", "async"})
 
     def adjacency_from_csr(self, matrix, pre_filter_total):
         # CSR -> COO yields row-major triples, the same order

@@ -66,7 +66,7 @@ class ScipyBackend(Backend):
     """scipy.sparse implementation of all four kernels."""
 
     name = "scipy"
-    capabilities = frozenset({"serial", "streaming", "parallel"})
+    capabilities = frozenset({"serial", "streaming", "parallel", "async"})
 
     def adjacency_from_csr(self, matrix, pre_filter_total):
         return ScipyAdjacency(matrix, pre_filter_total)

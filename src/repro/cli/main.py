@@ -3,10 +3,12 @@
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from typing import List, Optional
 
 from repro.cli import commands
+from repro.core.artifacts import ArtifactCache
 from repro.core.config import (
     DEFAULT_PARALLEL_RANKS,
     DEFAULT_STREAMING_BATCH_EDGES,
@@ -24,6 +26,29 @@ def _csv_ints(text: str) -> List[int]:
 
 def _csv_strs(text: str) -> List[str]:
     return [part.strip() for part in text.split(",") if part.strip()]
+
+
+_SIZE_SUFFIXES = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30, "t": 1 << 40}
+
+
+def _size_bytes(text: str) -> int:
+    """Parse a byte budget like ``500M``, ``2G``, ``1048576``, or ``0``."""
+    raw = text.strip().lower().rstrip("b")
+    multiplier = 1
+    if raw and raw[-1] in _SIZE_SUFFIXES:
+        multiplier = _SIZE_SUFFIXES[raw[-1]]
+        raw = raw[:-1]
+    try:
+        value = float(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a size like 500M, 2G, or a byte count; got {text!r}"
+        )
+    if not math.isfinite(value) or value < 0:
+        raise argparse.ArgumentTypeError(
+            f"size must be a finite value >= 0, got {text!r}"
+        )
+    return int(value * multiplier)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -58,8 +83,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--execution", default="serial",
                      choices=list(EXECUTION_MODES),
                      help="execution strategy: serial (in-memory), "
-                          "streaming (out-of-core kernel 2), or parallel "
-                          "(sharded kernels 2+3)")
+                          "streaming (out-of-core kernel 2), parallel "
+                          "(sharded kernels 2+3), or async (overlap stage "
+                          "I/O with compute; per-kernel times report busy "
+                          "time and the recovered wall-clock is reported "
+                          "as overlap_saved_s)")
     run.add_argument("--cache-dir", default=None,
                      help="reuse kernel 0/1 outputs from this artifact "
                           "cache (created on first use); the cached "
@@ -196,6 +224,39 @@ def build_parser() -> argparse.ArgumentParser:
     scaling.add_argument("--iterations", type=int, default=20)
     scaling.add_argument("--seed", type=int, default=1)
     scaling.set_defaults(func=commands.cmd_scaling)
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect and prune the kernel artifact cache "
+             "(size-budgeted LRU over k0/k1 datasets and k2 matrices)",
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+
+    cache_ls = cache_sub.add_parser(
+        "ls", help="list cache entries, least recently used first"
+    )
+    cache_ls.add_argument("--cache-dir", required=True,
+                          help="artifact cache root to inspect")
+    cache_ls.set_defaults(func=commands.cmd_cache_ls)
+
+    cache_rm = cache_sub.add_parser("rm", help="remove entries by key")
+    cache_rm.add_argument("key", help="entry key (see `cache ls`)")
+    cache_rm.add_argument("--cache-dir", required=True)
+    cache_rm.add_argument("--kind", default=None,
+                          choices=list(ArtifactCache.KINDS),
+                          help="only remove the entry of this kind "
+                               "(default: all kinds with that key)")
+    cache_rm.set_defaults(func=commands.cmd_cache_rm)
+
+    cache_prune = cache_sub.add_parser(
+        "prune",
+        help="evict least-recently-used entries until the cache fits "
+             "a byte budget (0 empties it)",
+    )
+    cache_prune.add_argument("--cache-dir", required=True)
+    cache_prune.add_argument("--max-bytes", type=_size_bytes, required=True,
+                             help="size budget, e.g. 500M, 2G, or 0")
+    cache_prune.set_defaults(func=commands.cmd_cache_prune)
 
     info = sub.add_parser("info", help="list backends/generators/experiments")
     info.set_defaults(func=commands.cmd_info)

@@ -10,7 +10,7 @@ is swappable.
 
 from __future__ import annotations
 
-from repro.core.artifacts import ArtifactCache
+from repro.core.artifacts import ArtifactCache, CacheEntry
 from repro.core.config import (
     EXECUTION_MODES,
     KernelName,
@@ -32,10 +32,12 @@ from repro.core.executor import (
 )
 from repro.core.pipeline import Pipeline, run_pipeline
 from repro.core.results import KernelResult, PipelineResult
+from repro.core.scheduler import ScheduleResult, SchedulerError, TaskGraph
 from repro.core.stages import Contract, ExecutionPlan, Stage, default_plan
 
 __all__ = [
     "ArtifactCache",
+    "CacheEntry",
     "Contract",
     "EXECUTION_MODES",
     "ExecutionPlan",
@@ -48,10 +50,13 @@ __all__ = [
     "PipelineConfig",
     "PipelineError",
     "PipelineResult",
+    "ScheduleResult",
+    "SchedulerError",
     "SerialExecutor",
     "ShardParallelExecutor",
     "Stage",
     "StreamingExecutor",
+    "TaskGraph",
     "available_executions",
     "default_plan",
     "get_executor",

@@ -28,8 +28,12 @@ import hashlib
 import json
 import os
 import shutil
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
 
 from repro.backends.base import Details
 from repro.core.config import PipelineConfig
@@ -79,6 +83,31 @@ def k1_cache_fields(
     return fields
 
 
+def k2_cache_fields(
+    config: PipelineConfig,
+    backend_name: Optional[str] = None,
+    *,
+    variant: str = "streaming-csr",
+) -> Dict[str, object]:
+    """Config fields determining the Kernel 2 filtered matrix.
+
+    The filtered, row-normalised matrix is a pure function of the
+    Kernel 1 dataset *and the producing arithmetic path*: batch sizes
+    never affect values (count arithmetic is exact), but a backend's
+    serial kernel may normalise with a division where the CSR-assembly
+    path multiplies by a reciprocal — different in the last ulp (the
+    dataframe backend does exactly this).  ``variant`` names that path
+    (``"backend-serial"`` for the backend's own kernel2,
+    ``"streaming-csr"`` for the out-of-core assembly shared by the
+    streaming and async executors), so a warm cache can never change a
+    run's bits relative to a cold one.
+    """
+    fields = k1_cache_fields(config, backend_name)
+    fields["kernel"] = "k2"
+    fields["variant"] = variant
+    return fields
+
+
 def cache_key(fields: Dict[str, object]) -> str:
     """Deterministic hex key for a field dict (stable across processes).
 
@@ -95,17 +124,38 @@ def cache_key(fields: Dict[str, object]) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:24]
 
 
+@dataclass(frozen=True)
+class CacheEntry:
+    """One published cache entry, as seen by ``ls``/eviction.
+
+    ``mtime`` is the recency signal: entries are touched on every hit,
+    so mtime-ordered eviction is LRU.
+    """
+
+    kind: str
+    key: str
+    path: Path
+    num_bytes: int
+    mtime: float
+
+
 class ArtifactCache:
-    """Filesystem cache of kernel output datasets, keyed by config.
+    """Filesystem cache of kernel output artifacts, keyed by config.
 
     Layout::
 
         <root>/k0/<key>/manifest.json + shards + cache-entry.json
         <root>/k1/<key>/...
+        <root>/k2/<key>/csr.npz + meta.json + cache-entry.json
 
     ``cache-entry.json`` records the key's input fields for inspection
-    (``repro`` never reads it back — the key *is* the address).
+    (``repro`` never reads it back — the key *is* the address).  Every
+    hit bumps the entry directory's mtime, so :meth:`prune` evicting in
+    mtime order implements size-budgeted LRU.
     """
+
+    #: Artifact namespaces the cache knows how to enumerate.
+    KINDS = ("k0", "k1", "k2")
 
     def __init__(self, root: Path) -> None:
         self.root = Path(root)
@@ -196,9 +246,166 @@ class ArtifactCache:
             # process may be reading is never the answer to those.
             shutil.rmtree(entry, ignore_errors=True)
             return None
+        self._touch(entry)
         return dataset, {
             "artifact_cache": "hit",
             "artifact_cache_key": key,
             "num_edges": dataset.num_edges,
             "num_shards": dataset.num_shards,
         }
+
+    @staticmethod
+    def _touch(entry: Path) -> None:
+        """Bump the entry's mtime (the LRU recency signal); best-effort."""
+        try:
+            os.utime(entry, None)
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # CSR matrix artifacts (Kernel 2)
+    # ------------------------------------------------------------------
+    def load_csr(
+        self, kind: str, fields: Dict[str, object]
+    ) -> Optional[Tuple[sp.csr_matrix, Dict[str, object]]]:
+        """Load a cached CSR matrix, or ``None`` on miss.
+
+        Returns ``(matrix, meta)`` where ``meta`` is whatever
+        :meth:`store_csr` recorded (e.g. ``pre_filter_entry_total``).
+        A torn or unreadable entry is purged and reads as a miss.
+        """
+        entry = self.entry_dir(kind, cache_key(fields))
+        payload = entry / "csr.npz"
+        meta_path = entry / "meta.json"
+        if not payload.exists() or not meta_path.exists():
+            return None
+        try:
+            meta = json.loads(meta_path.read_text(encoding="utf-8"))
+            with np.load(payload) as archive:
+                shape = tuple(int(x) for x in archive["shape"])
+                matrix = sp.csr_matrix(
+                    (archive["data"], archive["indices"], archive["indptr"]),
+                    shape=shape,
+                )
+        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            shutil.rmtree(entry, ignore_errors=True)
+            return None
+        self._touch(entry)
+        return matrix, meta
+
+    def store_csr(
+        self,
+        kind: str,
+        fields: Dict[str, object],
+        matrix: sp.csr_matrix,
+        meta: Dict[str, object],
+    ) -> str:
+        """Publish a CSR matrix entry atomically; returns the entry key.
+
+        Losing a publish race is fine — the winner's entry is
+        value-identical by construction (same fields, pure function).
+        """
+        key = cache_key(fields)
+        entry = self.entry_dir(kind, key)
+        staging = entry.with_name(f"{entry.name}.tmp-{os.getpid()}")
+        shutil.rmtree(staging, ignore_errors=True)
+        staging.mkdir(parents=True, exist_ok=True)
+        try:
+            matrix = matrix.tocsr()
+            np.savez(
+                staging / "csr.npz",
+                indptr=matrix.indptr,
+                indices=matrix.indices,
+                data=matrix.data,
+                shape=np.asarray(matrix.shape, dtype=np.int64),
+            )
+            (staging / "meta.json").write_text(
+                json.dumps(meta, indent=2, sort_keys=True), encoding="utf-8"
+            )
+            (staging / "cache-entry.json").write_text(
+                json.dumps(fields, indent=2, sort_keys=True), encoding="utf-8"
+            )
+            try:
+                os.replace(staging, entry)
+            except OSError:
+                pass  # a racing producer published an identical entry
+        finally:
+            shutil.rmtree(staging, ignore_errors=True)
+        return key
+
+    # ------------------------------------------------------------------
+    # Inspection and size-budgeted LRU eviction
+    # ------------------------------------------------------------------
+    def entries(self) -> List[CacheEntry]:
+        """Every published entry, oldest (least recently used) first.
+
+        Tolerates concurrent mutation: an entry (or file inside it)
+        deleted between listing and stat — another process pruning, or
+        a reader purging a torn entry — is simply skipped, not a crash.
+        """
+        found: List[CacheEntry] = []
+        for kind in self.KINDS:
+            kind_dir = self.root / kind
+            if not kind_dir.is_dir():
+                continue
+            for entry in sorted(kind_dir.iterdir()):
+                if not entry.is_dir() or ".tmp-" in entry.name:
+                    continue
+                try:
+                    num_bytes = 0
+                    for path in entry.rglob("*"):
+                        try:
+                            if path.is_file():
+                                num_bytes += path.stat().st_size
+                        except OSError:
+                            continue
+                    mtime = entry.stat().st_mtime
+                except OSError:
+                    continue  # vanished mid-walk
+                found.append(
+                    CacheEntry(
+                        kind=kind,
+                        key=entry.name,
+                        path=entry,
+                        num_bytes=num_bytes,
+                        mtime=mtime,
+                    )
+                )
+        found.sort(key=lambda e: (e.mtime, e.kind, e.key))
+        return found
+
+    def total_bytes(self) -> int:
+        """Summed on-disk size of all published entries."""
+        return sum(entry.num_bytes for entry in self.entries())
+
+    def remove(self, key: str, kind: Optional[str] = None) -> List[CacheEntry]:
+        """Delete entries matching ``key`` (optionally restricted to one
+        kind); returns what was removed."""
+        removed = []
+        for entry in self.entries():
+            if entry.key != key or (kind is not None and entry.kind != kind):
+                continue
+            shutil.rmtree(entry.path, ignore_errors=True)
+            removed.append(entry)
+        return removed
+
+    def prune(self, max_bytes: int) -> List[CacheEntry]:
+        """Evict least-recently-used entries until the cache fits
+        ``max_bytes``; returns the evicted entries.
+
+        Eviction is mtime-ordered and hits touch their entry, so
+        recently used artifacts survive.  ``max_bytes=0`` empties the
+        cache.
+        """
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        entries = self.entries()
+        total = sum(entry.num_bytes for entry in entries)
+        evicted: List[CacheEntry] = []
+        for entry in entries:  # oldest first
+            if total <= max_bytes:
+                break
+            shutil.rmtree(entry.path, ignore_errors=True)
+            total -= entry.num_bytes
+            evicted.append(entry)
+        return evicted

@@ -41,7 +41,7 @@ DEFAULT_DAMPING = 0.85
 #: PageRank iteration count fixed by the paper.
 DEFAULT_ITERATIONS = 20
 #: Execution strategies understood by :mod:`repro.core.executor`.
-EXECUTION_MODES = ("serial", "streaming", "parallel")
+EXECUTION_MODES = ("serial", "streaming", "parallel", "async")
 #: Default rank count for the "parallel" strategy (config and CLI).
 DEFAULT_PARALLEL_RANKS = 4
 #: Default pass-1 batch size for the "streaming" strategy (config, CLI,
@@ -95,8 +95,9 @@ class PipelineConfig:
         Keep kernel files after the run even in a temp dir.
     execution:
         Execution strategy: ``"serial"`` (in-memory, the default),
-        ``"streaming"`` (out-of-core Kernel 2), or ``"parallel"``
-        (sharded distributed Kernels 2+3).  See
+        ``"streaming"`` (out-of-core Kernel 2), ``"parallel"``
+        (sharded distributed Kernels 2+3), or ``"async"`` (overlapped
+        stage I/O and compute via the task scheduler).  See
         :mod:`repro.core.executor`.
     cache_dir:
         Root of the Kernel 0/1 artifact cache

@@ -3,7 +3,8 @@
 ``Pipeline`` is now a thin shim over the stage-graph machinery: it
 builds the benchmark's default :class:`~repro.core.stages.ExecutionPlan`
 and hands it to the execution strategy named by ``config.execution``
-(serial / streaming / parallel — see :mod:`repro.core.executor`).
+(serial / streaming / parallel / async — see
+:mod:`repro.core.executor` and :mod:`repro.core.async_executor`).
 Sequencing ("each kernel in the pipeline must be fully completed before
 the next kernel can begin"), per-kernel timing, and the four
 inter-kernel contracts all live in the plan and executors, so every

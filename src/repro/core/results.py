@@ -96,12 +96,19 @@ class PipelineResult:
         Final PageRank vector (length ``N``).
     validation:
         Eigenvector cross-check output when ``config.validate`` was set.
+    wall_seconds:
+        Measured end-to-end wall-clock of the whole run (set by the
+        executors).  Equals roughly :attr:`total_seconds` for serial
+        strategies; *smaller* under the async executor, whose per-kernel
+        ``seconds`` report busy time so throughput stays comparable while
+        the overlap's saving shows up here.
     """
 
     config: PipelineConfig
     kernels: List[KernelResult] = field(default_factory=list)
     rank: Optional[np.ndarray] = None
     validation: Optional[Dict[str, object]] = None
+    wall_seconds: Optional[float] = None
 
     def kernel(self, name: KernelName) -> KernelResult:
         """Fetch one kernel's result.
@@ -134,6 +141,8 @@ class PipelineResult:
             "total_seconds": self.total_seconds,
             "benchmark_seconds": self.benchmark_seconds,
         }
+        if self.wall_seconds is not None:
+            doc["wall_seconds"] = self.wall_seconds
         if self.rank is not None:
             doc["rank_summary"] = {
                 "size": int(self.rank.size),

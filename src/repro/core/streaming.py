@@ -20,10 +20,13 @@ Peak memory is O(batch + N) instead of O(M + N).
 
 from __future__ import annotations
 
+import queue
 import tempfile
+import threading
+import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, Optional, Tuple
+from typing import Dict, Iterable, Iterator, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -53,6 +56,12 @@ class StreamingKernel2Result:
         Deduplicated ``(row, col, count)`` triples spilled by pass 1 and
         re-read by pass 2 — the actual matrix-assembly work, which batch
         deduplication makes smaller than ``M``.
+    io_overlap:
+        Present only when ``overlap_io=True``: per-role busy seconds
+        (``ingest`` read, ``compute`` dedup, ``spill`` write, serial
+        ``tail``), the pass-1/total wall-clock, and the wall-clock the
+        overlap recovered (``busy - wall``).  The matrix is bit-identical
+        either way — overlap changes scheduling, never values.
     """
 
     matrix: sp.csr_matrix
@@ -60,6 +69,7 @@ class StreamingKernel2Result:
     eliminated_columns: int
     batches: int
     unique_triples: int = 0
+    io_overlap: Optional[Dict[str, float]] = None
 
 
 def _dedup_sorted_batch(
@@ -82,18 +92,20 @@ def _dedup_sorted_batch(
 
 
 def _stream_dedup(
-    dataset: EdgeDataset, batch_edges: int
+    batches: Iterable[Tuple[np.ndarray, np.ndarray]]
 ) -> Iterator[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
     """Yield deduplicated (rows, cols, counts) runs in row order.
 
     A carry buffer holds the final row of each batch so duplicates that
     straddle a batch boundary (possible only for the boundary row, since
-    input is sorted by row) are merged before emission.
+    input is sorted by row) are merged before emission.  ``batches`` is
+    any ``(u, v)`` iterable — a dataset's :meth:`iter_batches` or a
+    hand-off queue fed by a background reader thread.
     """
     carry_u = np.empty(0, dtype=np.int64)
     carry_v = np.empty(0, dtype=np.int64)
     carry_c = np.empty(0, dtype=np.float64)
-    for u, v in dataset.iter_batches(batch_edges):
+    for u, v in batches:
         if len(u) > 1 and np.any(u[1:] < u[:-1]):
             raise ValueError(
                 "streaming_kernel2 requires input sorted by start vertex "
@@ -123,11 +135,198 @@ def _stream_dedup(
         yield carry_u, carry_v, carry_c
 
 
+class _Pass1State:
+    """Accumulator shared by the serial and pipelined pass-1 drivers."""
+
+    __slots__ = ("din", "total", "batches", "triples", "last_row_seen")
+
+    def __init__(self, n: int) -> None:
+        self.din = np.zeros(n, dtype=np.float64)
+        self.total = 0.0
+        self.batches = 0
+        self.triples = 0
+        self.last_row_seen = -1
+
+    def absorb(self, rows, cols, counts) -> np.ndarray:
+        """Fold one dedup run into the accumulators; return spill block."""
+        if rows[0] < self.last_row_seen:
+            raise ValueError(
+                "streaming_kernel2 requires input sorted by start "
+                "vertex (kernel 1 output); found a backward row"
+            )
+        self.last_row_seen = int(rows[-1])
+        self.din += np.bincount(cols, weights=counts, minlength=len(self.din))
+        self.total += counts.sum()
+        stacked = np.empty((len(rows), 3), dtype=np.float64)
+        stacked[:, 0] = rows
+        stacked[:, 1] = cols
+        stacked[:, 2] = counts
+        self.triples += len(rows)
+        self.batches += 1
+        return stacked
+
+
+def _pass1_serial(
+    batches: Iterable[Tuple[np.ndarray, np.ndarray]],
+    spill_path: Path,
+    n: int,
+) -> _Pass1State:
+    """The original single-threaded pass 1: read, dedup, spill in turn."""
+    state = _Pass1State(n)
+    with open(spill_path, "wb") as spill:
+        for rows, cols, counts in _stream_dedup(batches):
+            state.absorb(rows, cols, counts).tofile(spill)
+    return state
+
+
+def _queue_put(q: "queue.Queue", item, cancel: threading.Event) -> bool:
+    """Bounded put that aborts (returning False) once ``cancel`` is set."""
+    while not cancel.is_set():
+        try:
+            q.put(item, timeout=0.05)
+            return True
+        except queue.Full:
+            continue
+    return False
+
+
+def _pass1_pipelined(
+    batches: Iterable[Tuple[np.ndarray, np.ndarray]],
+    spill_path: Path,
+    n: int,
+    timing: Dict[str, float],
+) -> _Pass1State:
+    """Pass 1 with ingest/compute/spill on three overlapped lanes.
+
+    A reader thread streams ``(u, v)`` batches into a bounded hand-off
+    queue, the calling thread runs the dedup/in-degree compute, and a
+    writer thread drains spill blocks to disk.  FIFO queues and a single
+    writer preserve the exact byte order of the serial path, so the
+    result is bit-identical; only the wall-clock changes.  ``timing``
+    receives per-lane busy seconds (read/compute/write) measured around
+    the work itself, with queue blocking excluded — the attribution the
+    async executor reports as per-kernel busy time.
+    """
+    in_q: "queue.Queue" = queue.Queue(maxsize=4)
+    out_q: "queue.Queue" = queue.Queue(maxsize=4)
+    cancel = threading.Event()
+    reader_error: list = []
+    writer_error: list = []
+
+    def _reader() -> None:
+        busy = 0.0
+        try:
+            iterator = iter(batches)
+            while not cancel.is_set():
+                t0 = time.perf_counter()
+                try:
+                    batch = next(iterator)
+                except StopIteration:
+                    break
+                finally:
+                    busy += time.perf_counter() - t0
+                if not _queue_put(in_q, batch, cancel):
+                    return
+        except BaseException as exc:  # noqa: BLE001 - re-raised by consumer
+            reader_error.append(exc)
+        finally:
+            timing["ingest_seconds"] = busy
+            _queue_put(in_q, None, cancel)
+
+    def _writer() -> None:
+        busy = 0.0
+        try:
+            with open(spill_path, "wb") as spill:
+                while True:
+                    block = out_q.get()
+                    if block is None:
+                        return
+                    t0 = time.perf_counter()
+                    block.tofile(spill)
+                    busy += time.perf_counter() - t0
+        except BaseException as exc:  # noqa: BLE001 - re-raised by producer
+            writer_error.append(exc)
+            cancel.set()
+        finally:
+            timing["spill_seconds"] = busy
+
+    def _batches_from_queue() -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        while True:
+            t0 = time.perf_counter()
+            while True:
+                try:
+                    item = in_q.get(timeout=0.05)
+                    break
+                except queue.Empty:
+                    # A dead writer sets ``cancel`` and the reader then
+                    # gives up without delivering its end-of-stream
+                    # marker; surface the failure instead of waiting
+                    # for a batch that will never come.
+                    if cancel.is_set():
+                        if writer_error:
+                            raise writer_error[0]
+                        raise RuntimeError(
+                            "streaming pass 1 cancelled mid-ingest"
+                        )
+            timing["wait_ingest_seconds"] += time.perf_counter() - t0
+            if item is None:
+                if reader_error:
+                    raise reader_error[0]
+                return
+            yield item
+
+    timing.setdefault("wait_ingest_seconds", 0.0)
+    timing.setdefault("wait_spill_seconds", 0.0)
+    state = _Pass1State(n)
+    reader = threading.Thread(target=_reader, name="k2-ingest", daemon=True)
+    writer = threading.Thread(target=_writer, name="k2-spill", daemon=True)
+    wall0 = time.perf_counter()
+    reader.start()
+    writer.start()
+    try:
+        for rows, cols, counts in _stream_dedup(_batches_from_queue()):
+            block = state.absorb(rows, cols, counts)
+            t0 = time.perf_counter()
+            delivered = _queue_put(out_q, block, cancel)
+            timing["wait_spill_seconds"] += time.perf_counter() - t0
+            if not delivered:
+                break  # writer failed; its error is raised below
+    except BaseException:
+        cancel.set()
+        raise
+    finally:
+        # Deliver the writer's end-of-stream marker even when ``cancel``
+        # is set (the writer keeps draining until it sees it); skip only
+        # when the writer itself is gone — then nobody will consume it.
+        while writer.is_alive():
+            try:
+                out_q.put(None, timeout=0.05)
+                break
+            except queue.Full:
+                continue
+        reader.join()
+        writer.join()
+        timing["pass1_wall_seconds"] = time.perf_counter() - wall0
+    if writer_error:
+        raise writer_error[0]
+    if reader_error:
+        raise reader_error[0]
+    timing["compute_seconds"] = (
+        timing["pass1_wall_seconds"]
+        - timing["wait_ingest_seconds"]
+        - timing["wait_spill_seconds"]
+    )
+    return state
+
+
 def streaming_kernel2(
-    dataset: EdgeDataset,
+    dataset: Optional[EdgeDataset] = None,
     *,
     batch_edges: int = DEFAULT_STREAMING_BATCH_EDGES,
     scratch_dir: Optional[Path] = None,
+    overlap_io: bool = False,
+    batch_source: Optional[Iterable[Tuple[np.ndarray, np.ndarray]]] = None,
+    num_vertices: Optional[int] = None,
 ) -> StreamingKernel2Result:
     """Run Kernel 2 with memory bounded by ``O(batch_edges + N)``.
 
@@ -140,6 +339,22 @@ def streaming_kernel2(
         Pass-1 batch size (the memory knob).
     scratch_dir:
         Where the deduplicated spill file lives; a temp dir by default.
+    overlap_io:
+        Run pass 1 with ingest, dedup, and spill on overlapped lanes
+        (reader/writer threads plus bounded hand-off queues).  The
+        result is bit-identical; :attr:`StreamingKernel2Result.io_overlap`
+        then reports per-lane busy time and the wall-clock recovered.
+    batch_source:
+        Replace the dataset's batch iteration with an external ``(u, v)``
+        batch iterable (the async executor feeds shards here as its
+        Kernel 1 writes complete).  Requires ``num_vertices``.  The
+        result does not depend on how the source partitions the sorted
+        stream into batches: deduplication emits only completed rows
+        (boundary rows ride the carry buffer) and every accumulator sums
+        integer-valued float64 counts, which is exact.
+    num_vertices:
+        Matrix dimension ``N`` when ``batch_source`` is used without a
+        dataset.
 
     Returns
     -------
@@ -152,7 +367,12 @@ def streaming_kernel2(
     >>> # see tests/integration/test_streaming_kernel2.py
     """
     check_positive_int("batch_edges", batch_edges)
-    n = dataset.num_vertices
+    if dataset is None and (batch_source is None or num_vertices is None):
+        raise ValueError(
+            "streaming_kernel2 needs a dataset, or batch_source plus "
+            "num_vertices"
+        )
+    n = int(num_vertices) if num_vertices is not None else dataset.num_vertices
 
     own_scratch = scratch_dir is None
     scratch = Path(scratch_dir) if scratch_dir else Path(
@@ -161,30 +381,23 @@ def streaming_kernel2(
     scratch.mkdir(parents=True, exist_ok=True)
     spill_path = scratch / "dedup.bin"
 
-    din = np.zeros(n, dtype=np.float64)
-    total = 0.0
-    batches = 0
-    last_row_seen = -1
-    triples = 0
     try:
         # ---- pass 1: dedup + in-degree + spill ----------------------
-        with open(spill_path, "wb") as spill:
-            for rows, cols, counts in _stream_dedup(dataset, batch_edges):
-                if rows[0] < last_row_seen:
-                    raise ValueError(
-                        "streaming_kernel2 requires input sorted by start "
-                        "vertex (kernel 1 output); found a backward row"
-                    )
-                last_row_seen = int(rows[-1])
-                din += np.bincount(cols, weights=counts, minlength=n)
-                total += counts.sum()
-                stacked = np.empty((len(rows), 3), dtype=np.float64)
-                stacked[:, 0] = rows
-                stacked[:, 1] = cols
-                stacked[:, 2] = counts
-                stacked.tofile(spill)
-                triples += len(rows)
-                batches += 1
+        batches = (
+            batch_source
+            if batch_source is not None
+            else dataset.iter_batches(batch_edges)
+        )
+        overlap_timing: Dict[str, float] = {}
+        if overlap_io:
+            state = _pass1_pipelined(batches, spill_path, n, overlap_timing)
+        else:
+            state = _pass1_serial(batches, spill_path, n)
+        din = state.din
+        total = state.total
+        batches = state.batches
+        triples = state.triples
+        tail0 = time.perf_counter()
 
         # ---- decide elimination -------------------------------------
         max_in = din.max() if n else 0.0
@@ -232,12 +445,31 @@ def streaming_kernel2(
         inv[nonzero] = 1.0 / dout[nonzero]
         matrix = (sp.diags(inv) @ matrix).tocsr()
 
+        io_overlap: Optional[Dict[str, float]] = None
+        if overlap_io:
+            # The decide/pass-2 tail runs serially (busy == wall); the
+            # recovered wall-clock is entirely a pass-1 property.
+            tail_seconds = time.perf_counter() - tail0
+            busy = (
+                overlap_timing.get("ingest_seconds", 0.0)
+                + overlap_timing.get("compute_seconds", 0.0)
+                + overlap_timing.get("spill_seconds", 0.0)
+                + tail_seconds
+            )
+            wall = overlap_timing.get("pass1_wall_seconds", 0.0) + tail_seconds
+            io_overlap = dict(overlap_timing)
+            io_overlap["tail_seconds"] = tail_seconds
+            io_overlap["busy_seconds"] = busy
+            io_overlap["wall_seconds"] = wall
+            io_overlap["overlap_saved_seconds"] = busy - wall
+
         return StreamingKernel2Result(
             matrix=matrix,
             pre_filter_entry_total=float(total),
             eliminated_columns=int(eliminate.sum()),
             batches=batches,
             unique_triples=triples,
+            io_overlap=io_overlap,
         )
     finally:
         spill_path.unlink(missing_ok=True)

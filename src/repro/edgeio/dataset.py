@@ -64,6 +64,91 @@ def _shard_name(index: int, fmt: str) -> str:
     return _SHARD_TEMPLATE.format(index=index, ext=_EXTENSIONS[fmt])
 
 
+def shard_file_name(index: int, fmt: str) -> str:
+    """Canonical shard filename for ``index`` in format ``fmt``.
+
+    Exposed so out-of-band producers/consumers (the async executor's
+    per-shard tasks) can address shard files before a manifest exists.
+    """
+    if fmt not in _EXTENSIONS:
+        raise ValueError(f"fmt must be one of {sorted(_EXTENSIONS)}, got {fmt!r}")
+    return _shard_name(index, fmt)
+
+
+def write_shard(
+    directory: Path,
+    index: int,
+    u: np.ndarray,
+    v: np.ndarray,
+    *,
+    fmt: str = "tsv",
+    vertex_base: int = DEFAULT_VERTEX_BASE,
+    checksums: bool = True,
+) -> ShardInfo:
+    """Write one shard file (atomically) and return its manifest entry.
+
+    This is the single-shard core of :meth:`EdgeDataset.write`, split
+    out so shard writes can be scheduled as independent tasks; the
+    caller is responsible for eventually assembling the ``ShardInfo``
+    list into a manifest (shards without a manifest read as an
+    incomplete dataset, by design).
+    """
+    if fmt not in _EXTENSIONS:
+        raise ValueError(f"fmt must be one of {sorted(_EXTENSIONS)}, got {fmt!r}")
+    directory = Path(directory)
+    name = _shard_name(index, fmt)
+    path = directory / name
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    if fmt in ("tsv", "tsv.gz"):
+        payload = encode_edges(u, v, vertex_base=vertex_base)
+        if fmt == "tsv.gz":
+            import gzip
+
+            payload = gzip.compress(payload, compresslevel=6)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_bytes(payload)
+        tmp.replace(path)
+        crc = zlib.crc32(payload) if checksums else None
+        return ShardInfo(
+            name=name, num_edges=len(u), crc32=crc, num_bytes=len(payload)
+        )
+    nbytes = write_binary_shard(path, u, v)
+    return ShardInfo(name=name, num_edges=len(u), crc32=None, num_bytes=nbytes)
+
+
+def read_shard_file(
+    path: Path,
+    *,
+    fmt: str = "tsv",
+    vertex_base: int = DEFAULT_VERTEX_BASE,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Read one shard file back into ``(u, v)`` (0-based labels).
+
+    The manifest-free counterpart of :meth:`EdgeDataset.read_shard`, for
+    consumers that overlap shard reads with the producer still writing
+    later shards (no count/bound verification — the producing task
+    already holds the arrays, and contracts re-verify the published
+    dataset).
+    """
+    if fmt not in _EXTENSIONS:
+        raise ValueError(f"fmt must be one of {sorted(_EXTENSIONS)}, got {fmt!r}")
+    path = Path(path)
+    if fmt in ("tsv", "tsv.gz"):
+        payload = path.read_bytes()
+        if fmt == "tsv.gz":
+            import gzip
+
+            try:
+                payload = gzip.decompress(payload)
+            except (OSError, EOFError, zlib.error) as exc:
+                raise CorruptEdgeFileError(
+                    f"{path}: gzip decompression failed: {exc}"
+                ) from exc
+        return decode_edges(payload, vertex_base=vertex_base)
+    return read_binary_shard(path)
+
+
 class EdgeDataset:
     """A verified, sharded, on-disk edge list.
 
@@ -163,28 +248,12 @@ class EdgeDataset:
         v = np.asarray(v, dtype=np.int64)
         shards: List[ShardInfo] = []
         for index, (start, end) in enumerate(shard_slices(len(u), num_shards)):
-            name = _shard_name(index, fmt)
-            path = directory / name
-            if fmt in ("tsv", "tsv.gz"):
-                payload = encode_edges(u[start:end], v[start:end], vertex_base=vertex_base)
-                if fmt == "tsv.gz":
-                    import gzip
-
-                    payload = gzip.compress(payload, compresslevel=6)
-                tmp = path.with_name(path.name + ".tmp")
-                tmp.write_bytes(payload)
-                tmp.replace(path)
-                crc = zlib.crc32(payload) if checksums else None
-                shards.append(
-                    ShardInfo(name=name, num_edges=end - start, crc32=crc,
-                              num_bytes=len(payload))
+            shards.append(
+                write_shard(
+                    directory, index, u[start:end], v[start:end],
+                    fmt=fmt, vertex_base=vertex_base, checksums=checksums,
                 )
-            else:
-                nbytes = write_binary_shard(path, u[start:end], v[start:end])
-                shards.append(
-                    ShardInfo(name=name, num_edges=end - start, crc32=None,
-                              num_bytes=nbytes)
-                )
+            )
 
         manifest = DatasetManifest(
             num_vertices=num_vertices,
@@ -402,23 +471,10 @@ class EdgeDatasetWriter:
         take_u, rest_u = cat_u[:count], cat_u[count:]
         take_v, rest_v = cat_v[:count], cat_v[count:]
         index = len(self._shards)
-        name = _shard_name(index, self.fmt)
-        path = self.directory / name
-        if self.fmt in ("tsv", "tsv.gz"):
-            payload = encode_edges(take_u, take_v, vertex_base=self.vertex_base)
-            if self.fmt == "tsv.gz":
-                import gzip
-
-                payload = gzip.compress(payload, compresslevel=6)
-            tmp = path.with_name(path.name + ".tmp")
-            tmp.write_bytes(payload)
-            tmp.replace(path)
-            info = ShardInfo(name=name, num_edges=len(take_u),
-                             crc32=zlib.crc32(payload), num_bytes=len(payload))
-        else:
-            nbytes = write_binary_shard(path, take_u, take_v)
-            info = ShardInfo(name=name, num_edges=len(take_u), crc32=None,
-                             num_bytes=nbytes)
+        info = write_shard(
+            self.directory, index, take_u, take_v,
+            fmt=self.fmt, vertex_base=self.vertex_base,
+        )
         self._shards.append(info)
         self._total_edges += len(take_u)
         self._buffer_u = [rest_u]

@@ -38,7 +38,9 @@ class SweepPlan:
         Runs per cell; the *fastest* time per kernel is kept.
     execution:
         Execution strategy for every cell (``serial`` / ``streaming`` /
-        ``parallel`` — see :mod:`repro.core.executor`).
+        ``parallel`` / ``async`` — see :mod:`repro.core.executor`).
+        Cells whose backend lacks the strategy's capability are skipped
+        with a warning.
     cache_dir:
         Kernel 0/1 artifact-cache root shared by all cells.  With
         ``repeats > 1`` (or across sweep reruns) the graph is generated

@@ -1,0 +1,219 @@
+"""Integration tests for the async (overlapped) execution strategy.
+
+Pins the subsystem's three promises: results identical to serial
+(bit-identical where the backend's arithmetic path is shared), honest
+timing attribution (per-kernel busy time plus a separately reported
+``overlap_saved_s``), and contract enforcement equal to the other
+executors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.async_executor import AsyncExecutor
+from repro.core.config import KernelName, PipelineConfig
+from repro.core.exceptions import KernelContractError
+from repro.core.pipeline import run_pipeline
+from repro.core.scheduler import SchedulerError
+from repro.core.stages import Contract, Stage, default_plan, ExecutionPlan
+
+
+def _config(backend: str = "scipy", execution: str = "async", **overrides):
+    fields = dict(
+        scale=8,
+        seed=11,
+        backend=backend,
+        iterations=10,
+        num_files=3,
+        execution=execution,
+        streaming_batch_edges=512,
+    )
+    fields.update(overrides)
+    return PipelineConfig(**fields)
+
+
+class TestResultParity:
+    @pytest.mark.parametrize("backend", ["scipy", "numpy"])
+    def test_bit_identical_to_serial(self, backend):
+        serial = run_pipeline(_config(backend, "serial"))
+        overlapped = run_pipeline(_config(backend, "async"))
+        # Not merely allclose: the same bits.
+        np.testing.assert_array_equal(overlapped.rank, serial.rank)
+
+    def test_bit_identical_to_streaming(self):
+        streaming = run_pipeline(_config("scipy", "streaming"))
+        overlapped = run_pipeline(_config("scipy", "async"))
+        np.testing.assert_array_equal(overlapped.rank, streaming.rank)
+
+    @pytest.mark.parametrize("num_files", [1, 2, 5])
+    def test_shard_count_does_not_change_result(self, num_files):
+        reference = run_pipeline(_config("scipy", "serial", num_files=1))
+        overlapped = run_pipeline(
+            _config("scipy", "async", num_files=num_files)
+        )
+        np.testing.assert_array_equal(overlapped.rank, reference.rank)
+
+    def test_single_worker_schedule_identical(self):
+        # max_workers=1 serialises the graph; the values must not care.
+        config = _config("scipy", "async")
+        concurrent = AsyncExecutor().execute(config)
+        serialised = AsyncExecutor(max_workers=1).execute(config)
+        np.testing.assert_array_equal(concurrent.rank, serialised.rank)
+
+    def test_validation_runs_under_async(self):
+        result = run_pipeline(_config("scipy", "async", validate=True))
+        assert result.validation is not None
+        assert result.validation["passed"]
+
+
+class TestTimingAttribution:
+    def test_four_kernels_in_order_with_busy_times(self):
+        result = run_pipeline(_config("scipy", "async"))
+        assert [k.kernel for k in result.kernels] == list(KernelName)
+        for kernel in result.kernels:
+            assert kernel.details["execution"] == "async"
+            assert kernel.seconds == kernel.details["busy_seconds"]
+            assert kernel.seconds >= 0.0
+        assert result.kernels[0].officially_timed is False
+
+    def test_overlap_summary_in_k3_details(self):
+        result = run_pipeline(_config("scipy", "async"))
+        details = result.kernel(KernelName.K3_PAGERANK).details
+        assert "overlap_saved_s" in details
+        assert details["pipeline_wall_seconds"] > 0.0
+        # Contract checks count toward pipeline totals, not stages.
+        assert details["verification_seconds"] > 0.0
+        assert details["pipeline_busy_seconds"] == pytest.approx(
+            sum(details["stage_busy_seconds"].values())
+            + details["verification_seconds"]
+        )
+        assert details["overlap_saved_s"] == pytest.approx(
+            details["pipeline_busy_seconds"] - details["pipeline_wall_seconds"]
+        )
+
+    def test_contract_violation_fails_fast(self):
+        # A violated stage contract must abort the schedule before the
+        # terminal stage runs — parity with the serial loop's per-stage
+        # checks, not an end-of-run afterthought.
+        class TracksK3(Contract):
+            name = "never-reached"
+
+            def check(self, ctx):
+                raise KernelContractError("stop here")
+
+        ran_k3 = []
+
+        stages = list(default_plan().stages)
+        stages[0] = Stage(
+            kernel=stages[0].kernel,
+            provides=stages[0].provides,
+            officially_timed=False,
+            contract=TracksK3(),
+        )
+        plan = ExecutionPlan(stages=tuple(stages))
+
+        class Spy(AsyncExecutor):
+            def _run_pagerank(self, ctx):
+                ran_k3.append(True)
+                return super()._run_pagerank(ctx)
+
+        with pytest.raises(KernelContractError, match="stop here"):
+            Spy(plan).execute(_config("scipy", "async"))
+        assert ran_k3 == []
+
+    def test_wall_seconds_recorded_on_result(self):
+        result = run_pipeline(_config("scipy", "async"))
+        assert result.wall_seconds is not None
+        assert result.wall_seconds > 0.0
+        doc = result.to_dict()
+        assert doc["wall_seconds"] == result.wall_seconds
+
+    def test_k2_reports_streaming_style_details(self):
+        result = run_pipeline(_config("scipy", "async"))
+        k2 = result.kernel(KernelName.K2_FILTER)
+        assert k2.edges_processed == result.config.num_edges
+        assert 0 < k2.details["unique_triples"] < result.config.num_edges
+        io = k2.details["io_overlap"]
+        assert io["busy_seconds"] >= 0.0
+        assert io["wall_seconds"] > 0.0
+
+
+class TestContractsAndFailures:
+    def test_contracts_enforced(self):
+        class Impossible(Contract):
+            name = "impossible"
+
+            def check(self, ctx):
+                raise KernelContractError("injected violation")
+
+        stages = list(default_plan().stages)
+        stages[0] = Stage(
+            kernel=stages[0].kernel,
+            provides=stages[0].provides,
+            officially_timed=False,
+            contract=Impossible(),
+        )
+        plan = ExecutionPlan(stages=tuple(stages))
+        with pytest.raises(KernelContractError, match="injected"):
+            AsyncExecutor(plan).execute(_config("scipy", "async"))
+        # verify=False must skip the same contract.
+        result = AsyncExecutor(plan).execute(
+            _config("scipy", "async"), verify=False
+        )
+        assert result.rank is not None
+
+    def test_task_failure_surfaces_as_scheduler_error(self, monkeypatch):
+        from repro.generators import registry
+
+        def broken(name):
+            raise RuntimeError("generator registry down")
+
+        monkeypatch.setattr(registry, "get_generator", broken)
+        with pytest.raises(SchedulerError, match="k0:generate"):
+            run_pipeline(_config("scipy", "async"))
+
+    def test_partial_plan_runs(self):
+        plan = ExecutionPlan(stages=(default_plan().stages[0],))
+        result = AsyncExecutor(plan).execute(_config("scipy", "async"))
+        assert [k.kernel for k in result.kernels] == [KernelName.K0_GENERATE]
+        assert result.rank is None
+
+
+class TestCacheFallback:
+    def test_cached_k0_k1_still_work(self, tmp_path):
+        cache = tmp_path / "c"
+        cold = run_pipeline(_config("scipy", "async", cache_dir=cache))
+        warm = run_pipeline(_config("scipy", "async", cache_dir=cache))
+        for kernel in (KernelName.K0_GENERATE, KernelName.K1_SORT,
+                       KernelName.K2_FILTER):
+            assert cold.kernel(kernel).details["artifact_cache"] == "miss"
+            assert warm.kernel(kernel).details["artifact_cache"] == "hit"
+        np.testing.assert_array_equal(cold.rank, warm.rank)
+
+    def test_cache_shared_with_serial_strategy(self, tmp_path):
+        cache = tmp_path / "c"
+        serial = run_pipeline(_config("scipy", "serial", cache_dir=cache))
+        overlapped = run_pipeline(_config("scipy", "async", cache_dir=cache))
+        assert (overlapped.kernel(KernelName.K0_GENERATE)
+                .details["artifact_cache"] == "hit")
+        np.testing.assert_array_equal(overlapped.rank, serial.rank)
+
+    def test_external_sort_falls_back_to_backend_kernels(self):
+        result = run_pipeline(_config("scipy", "async", external_sort=True))
+        reference = run_pipeline(_config("scipy", "serial", external_sort=True))
+        np.testing.assert_array_equal(result.rank, reference.rank)
+        k1 = result.kernel(KernelName.K1_SORT)
+        assert k1.details["algorithm"] == "external"
+
+
+class TestSweepIntegration:
+    def test_sweep_runs_async_and_skips_python(self):
+        from repro.harness.sweep import SweepPlan, run_sweep
+
+        plan = SweepPlan(scales=[6], backends=["python", "scipy"],
+                         execution="async")
+        records = run_sweep(plan)
+        assert {record.backend for record in records} == {"scipy"}
+        assert len(records) == 4

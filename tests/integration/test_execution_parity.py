@@ -19,6 +19,8 @@ from repro.core.pipeline import run_pipeline
 
 #: Backends declaring every execution capability (see Backend.capabilities).
 FULL_CAPABILITY_BACKENDS = ["scipy", "numpy"]
+#: Backends that can adopt an external CSR matrix (streaming + async).
+CSR_CAPABLE_BACKENDS = ["scipy", "numpy", "dataframe", "graphblas"]
 
 
 def _config(backend: str, execution: str, scale: int = 8) -> PipelineConfig:
@@ -36,11 +38,24 @@ def _config(backend: str, execution: str, scale: int = 8) -> PipelineConfig:
 
 class TestRankParity:
     @pytest.mark.parametrize("backend", FULL_CAPABILITY_BACKENDS)
-    @pytest.mark.parametrize("execution", ["streaming", "parallel"])
+    @pytest.mark.parametrize("execution", ["streaming", "parallel", "async"])
     def test_identical_rank_vectors(self, backend, execution):
         serial = run_pipeline(_config(backend, "serial"))
         other = run_pipeline(_config(backend, execution))
         assert other.rank is not None
+        np.testing.assert_allclose(
+            other.rank, serial.rank, rtol=1e-12, atol=1e-15
+        )
+
+    @pytest.mark.parametrize("backend", CSR_CAPABLE_BACKENDS)
+    @pytest.mark.parametrize("execution", ["streaming", "async"])
+    def test_csr_adoption_matches_serial(self, backend, execution):
+        # dataframe/graphblas joined the streaming/async capability set
+        # via adjacency_from_csr; their ranks must match serial too
+        # (dataframe to float tolerance — its serial K2 normalises with
+        # a division where the CSR path multiplies by a reciprocal).
+        serial = run_pipeline(_config(backend, "serial"))
+        other = run_pipeline(_config(backend, execution))
         np.testing.assert_allclose(
             other.rank, serial.rank, rtol=1e-12, atol=1e-15
         )
@@ -68,6 +83,10 @@ class TestRankParity:
 class TestContractParityAcrossExecutors:
     """The same violation must be caught identically by every strategy."""
 
+    # ``async`` is absent here by design: its fine-grained Kernel 0/1
+    # tasks bypass the (deliberately broken) backend kernels, so these
+    # injections cannot fire; its contract enforcement is pinned by
+    # tests/integration/test_async_executor.py instead.
     @pytest.mark.parametrize("execution", ["serial", "streaming", "parallel"])
     def test_k0_count_violation_caught(self, execution, tmp_path):
         from broken_backends import BrokenK0
@@ -89,11 +108,17 @@ class TestContractParityAcrossExecutors:
 
 
 class TestCapabilityGating:
-    @pytest.mark.parametrize("backend", ["python", "dataframe", "graphblas"])
-    def test_streaming_needs_capability(self, backend):
-        with pytest.raises(ExecutorCapabilityError, match="streaming"):
+    @pytest.mark.parametrize("execution", ["streaming", "async"])
+    def test_python_backend_lacks_csr_capabilities(self, execution):
+        with pytest.raises(ExecutorCapabilityError, match=execution):
+            run_pipeline(PipelineConfig(scale=6, backend="python",
+                                        execution=execution))
+
+    @pytest.mark.parametrize("backend", ["dataframe", "graphblas"])
+    def test_parallel_still_gated(self, backend):
+        with pytest.raises(ExecutorCapabilityError, match="parallel"):
             run_pipeline(PipelineConfig(scale=6, backend=backend,
-                                        execution="streaming"))
+                                        execution="parallel"))
 
     def test_sweep_skips_unsupported_backends(self):
         from repro.harness.sweep import SweepPlan, run_sweep

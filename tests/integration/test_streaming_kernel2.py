@@ -86,3 +86,79 @@ class TestStreamingValidation:
     def test_batch_validation(self, sorted_dataset):
         with pytest.raises(ValueError):
             streaming_kernel2(sorted_dataset, batch_edges=0)
+
+    def test_source_without_vertex_count_rejected(self):
+        with pytest.raises(ValueError, match="num_vertices"):
+            streaming_kernel2(batch_source=iter([]))
+
+
+class TestOverlappedPass1:
+    """``overlap_io=True`` changes scheduling, never values."""
+
+    def test_bit_identical_to_serial_pass1(self, sorted_dataset):
+        serial = streaming_kernel2(sorted_dataset, batch_edges=500)
+        overlapped = streaming_kernel2(sorted_dataset, batch_edges=500,
+                                       overlap_io=True)
+        np.testing.assert_array_equal(overlapped.matrix.indptr,
+                                      serial.matrix.indptr)
+        np.testing.assert_array_equal(overlapped.matrix.indices,
+                                      serial.matrix.indices)
+        np.testing.assert_array_equal(overlapped.matrix.data,
+                                      serial.matrix.data)
+        assert overlapped.unique_triples == serial.unique_triples
+        assert overlapped.batches == serial.batches
+
+    def test_io_overlap_reported_only_when_requested(self, sorted_dataset):
+        assert streaming_kernel2(sorted_dataset).io_overlap is None
+        io = streaming_kernel2(sorted_dataset, overlap_io=True).io_overlap
+        assert io is not None
+        for key in ("ingest_seconds", "compute_seconds", "spill_seconds",
+                    "busy_seconds", "wall_seconds", "overlap_saved_seconds"):
+            assert key in io
+        assert io["wall_seconds"] > 0.0
+
+    def test_external_batch_source_matches_dataset(self, sorted_dataset):
+        u, v = sorted_dataset.read_all()
+
+        def chunks(size):
+            for start in range(0, len(u), size):
+                yield u[start:start + size], v[start:start + size]
+
+        reference = streaming_kernel2(sorted_dataset, batch_edges=700)
+        # A source whose partition differs from the dataset's batching
+        # must still produce the identical matrix (exact arithmetic).
+        fed = streaming_kernel2(batch_source=chunks(311),
+                                num_vertices=sorted_dataset.num_vertices,
+                                batch_edges=700, overlap_io=True)
+        np.testing.assert_array_equal(fed.matrix.indptr,
+                                      reference.matrix.indptr)
+        np.testing.assert_array_equal(fed.matrix.data, reference.matrix.data)
+        assert fed.pre_filter_entry_total == reference.pre_filter_entry_total
+
+    def test_overlapped_rejects_unsorted_input(self, tmp_path):
+        u = np.array([5, 1, 3], dtype=np.int64)
+        v = np.array([0, 0, 0], dtype=np.int64)
+        ds = EdgeDataset.write(tmp_path / "unsorted2", u, v, num_vertices=8)
+        with pytest.raises(ValueError, match="sorted"):
+            streaming_kernel2(ds, batch_edges=2, overlap_io=True)
+
+    @pytest.mark.parametrize("overlap_io", [False, True])
+    def test_spill_failure_surfaces_without_deadlock(
+        self, monkeypatch, sorted_dataset, overlap_io
+    ):
+        # A dying spill lane must propagate its error and unwind both
+        # worker threads, not hang the join.
+        from repro.core import streaming as streaming_mod
+
+        class ExplodingBlock:
+            def tofile(self, fh):
+                raise OSError("disk full")
+
+        monkeypatch.setattr(
+            streaming_mod._Pass1State,
+            "absorb",
+            lambda self, rows, cols, counts: ExplodingBlock(),
+        )
+        with pytest.raises(OSError, match="disk full"):
+            streaming_kernel2(sorted_dataset, batch_edges=128,
+                              overlap_io=overlap_io)

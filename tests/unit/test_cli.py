@@ -37,8 +37,30 @@ class TestParser:
     def test_run_execution_choices(self):
         args = build_parser().parse_args(["run", "--execution", "streaming"])
         assert args.execution == "streaming"
+        args = build_parser().parse_args(["run", "--execution", "async"])
+        assert args.execution == "async"
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--execution", "turbo"])
+
+    def test_cache_subcommand_parsing(self):
+        args = build_parser().parse_args(
+            ["cache", "prune", "--cache-dir", "c", "--max-bytes", "500M"]
+        )
+        assert args.max_bytes == 500 * (1 << 20)
+        args = build_parser().parse_args(
+            ["cache", "prune", "--cache-dir", "c", "--max-bytes", "2g"]
+        )
+        assert args.max_bytes == 2 << 30
+        args = build_parser().parse_args(
+            ["cache", "rm", "abc123", "--cache-dir", "c", "--kind", "k2"]
+        )
+        assert args.key == "abc123" and args.kind == "k2"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["cache", "prune", "--cache-dir", "c", "--max-bytes", "lots"]
+            )
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "ls"])  # --cache-dir required
 
     def test_run_verify_and_validate_flags_are_independent(self):
         args = build_parser().parse_args(
@@ -115,6 +137,42 @@ class TestCommands:
         assert code == 2
         assert "streaming" in capsys.readouterr().err
 
+    def test_run_async_execution(self, capsys):
+        assert main(["run", "--scale", "6", "--execution", "async",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        k3 = next(k for k in doc["kernels"] if k["kernel"] == "k3-pagerank")
+        assert k3["details"]["execution"] == "async"
+        assert "overlap_saved_s" in k3["details"]
+        assert doc["wall_seconds"] > 0.0
+
+    def test_run_async_report_mentions_overlap(self, capsys):
+        assert main(["run", "--scale", "6", "--execution", "async"]) == 0
+        out = capsys.readouterr().out
+        assert "async overlap:" in out
+        assert "overlap saved" in out
+
+    def test_cache_ls_rm_prune_round_trip(self, tmp_path, capsys):
+        cache = str(tmp_path / "c")
+        assert main(["run", "--scale", "6", "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert main(["cache", "ls", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "k0" in out and "k1" in out and "k2" in out
+        assert "3 entries" in out
+        key = next(line.split("|")[2].strip() for line in out.splitlines()
+                   if "| k2 " in line)
+        assert main(["cache", "rm", key, "--cache-dir", cache,
+                     "--kind", "k2"]) == 0
+        assert "removed k2/" in capsys.readouterr().out
+        assert main(["cache", "rm", "nonexistent", "--cache-dir", cache]) == 1
+        capsys.readouterr()
+        assert main(["cache", "prune", "--cache-dir", cache,
+                     "--max-bytes", "0"]) == 0
+        assert "evicted 2 entries" in capsys.readouterr().out
+        assert main(["cache", "ls", "--cache-dir", cache]) == 0
+        assert "0 entries" in capsys.readouterr().out
+
     def test_run_cache_dir_round_trip(self, tmp_path, capsys):
         cache = tmp_path / "cache"
         assert main(["run", "--scale", "6", "--cache-dir", str(cache),
@@ -129,8 +187,11 @@ class TestCommands:
         # JSON consumers get an explicit gap, not cache-read "throughput".
         assert by_kernel["k0-generate"]["cached"] is True
         assert by_kernel["k0-generate"]["edges_per_second"] is None
-        assert by_kernel["k2-filter"]["cached"] is False
-        assert by_kernel["k2-filter"]["edges_per_second"] > 0
+        # The filtered matrix is also cached now (keyed on the K1
+        # dataset), so repeats skip the K2 rebuild too.
+        assert by_kernel["k2-filter"]["cached"] is True
+        assert by_kernel["k2-filter"]["edges_per_second"] is None
+        assert by_kernel["k3-pagerank"]["cached"] is False
         assert (first["rank_summary"]["argmax"]
                 == second["rank_summary"]["argmax"])
 
@@ -144,7 +205,8 @@ class TestCommands:
         # generate/sort throughput.
         assert "k0-generate (cache hit)" in out
         assert "k1-sort (cache hit)" in out
-        assert "k2-filter (cache hit)" not in out
+        assert "k2-filter (cache hit)" in out
+        assert "k3-pagerank (cache hit)" not in out
 
     def test_sweep_default_backends_with_streaming(self, capsys):
         # The default backend list includes serial-only backends; the

@@ -114,15 +114,24 @@ class TestContracts:
 
 class TestExecutorRegistry:
     def test_available(self):
-        assert available_executions() == ("serial", "streaming", "parallel")
+        assert available_executions() == (
+            "serial", "streaming", "parallel", "async",
+        )
 
     def test_lookup(self):
         assert isinstance(get_executor("serial"), SerialExecutor)
         assert isinstance(get_executor("streaming"), StreamingExecutor)
         assert isinstance(get_executor("parallel"), ShardParallelExecutor)
 
+    def test_lazy_async_lookup(self):
+        from repro.core.async_executor import AsyncExecutor
+
+        assert isinstance(get_executor("async"), AsyncExecutor)
+        # Resolution is cached: the registry now holds the class itself.
+        assert isinstance(get_executor("async"), AsyncExecutor)
+
     def test_unknown_raises_keyerror_listing_valid(self):
-        with pytest.raises(KeyError, match="serial, streaming, parallel"):
+        with pytest.raises(KeyError, match="serial, streaming, parallel, async"):
             get_executor("quantum")
 
     def test_custom_plan_is_honoured(self):

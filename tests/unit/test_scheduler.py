@@ -1,0 +1,189 @@
+"""Unit tests for the dependency-aware task scheduler."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.scheduler import SchedulerError, TaskGraph
+
+
+class TestGraphConstruction:
+    def test_duplicate_name_rejected(self):
+        graph = TaskGraph()
+        graph.add("a", lambda r: 1)
+        with pytest.raises(ValueError, match="duplicate"):
+            graph.add("a", lambda r: 2)
+
+    def test_unknown_dependency_rejected(self):
+        graph = TaskGraph()
+        with pytest.raises(ValueError, match="not in the graph"):
+            graph.add("b", lambda r: 1, deps=("never",))
+
+    def test_cycles_inexpressible(self):
+        # Dependencies must precede their dependents, so a cycle cannot
+        # even be written down.
+        graph = TaskGraph()
+        graph.add("a", lambda r: 1)
+        with pytest.raises(ValueError):
+            graph.add("a2", lambda r: 1, deps=("a", "a2"))
+
+    def test_empty_graph_runs(self):
+        result = TaskGraph().run()
+        assert result.results == {}
+        assert result.wall_seconds == 0.0
+
+
+class TestExecution:
+    def test_results_flow_to_dependents(self):
+        graph = TaskGraph()
+        graph.add("a", lambda r: 2)
+        graph.add("b", lambda r: 3)
+        graph.add("c", lambda r: r["a"] * r["b"], deps=("a", "b"))
+        assert graph.run().results["c"] == 6
+
+    def test_dependency_order_respected(self):
+        order = []
+        lock = threading.Lock()
+
+        def record(name):
+            def fn(results):
+                with lock:
+                    order.append(name)
+            return fn
+
+        graph = TaskGraph()
+        graph.add("first", record("first"))
+        graph.add("second", record("second"), deps=("first",))
+        graph.add("third", record("third"), deps=("second",))
+        graph.run(max_workers=4)
+        assert order == ["first", "second", "third"]
+
+    def test_diamond_joins_both_parents(self):
+        graph = TaskGraph()
+        graph.add("root", lambda r: 1)
+        graph.add("left", lambda r: r["root"] + 1, deps=("root",))
+        graph.add("right", lambda r: r["root"] + 2, deps=("root",))
+        graph.add(
+            "join", lambda r: r["left"] * r["right"], deps=("left", "right")
+        )
+        assert graph.run().results["join"] == 6
+
+    def test_single_worker_degenerates_to_serial(self):
+        active = {"now": 0, "max": 0}
+        lock = threading.Lock()
+
+        def fn(results):
+            with lock:
+                active["now"] += 1
+                active["max"] = max(active["max"], active["now"])
+            time.sleep(0.01)
+            with lock:
+                active["now"] -= 1
+
+        graph = TaskGraph()
+        for index in range(4):
+            graph.add(f"t{index}", fn)
+        graph.run(max_workers=1)
+        assert active["max"] == 1
+
+    def test_independent_tasks_overlap(self):
+        def sleepy(results):
+            time.sleep(0.05)
+
+        graph = TaskGraph()
+        graph.add("a", sleepy)
+        graph.add("b", sleepy)
+        result = graph.run(max_workers=2)
+        assert result.wall_seconds < 0.095  # genuinely concurrent
+        assert result.busy_seconds >= 0.095
+        assert result.overlap_saved_seconds > 0.0
+
+
+class TestFailureHandling:
+    def test_failure_raises_with_task_name(self):
+        graph = TaskGraph()
+        graph.add("ok", lambda r: 1)
+
+        def boom(results):
+            raise RuntimeError("kaput")
+
+        graph.add("bad", boom, deps=("ok",))
+        with pytest.raises(SchedulerError, match="'bad' failed: kaput"):
+            graph.run()
+
+    def test_failure_cause_chained(self):
+        graph = TaskGraph()
+        graph.add("bad", lambda r: 1 / 0)
+        with pytest.raises(SchedulerError) as excinfo:
+            graph.run()
+        assert isinstance(excinfo.value.__cause__, ZeroDivisionError)
+
+    def test_pending_tasks_not_started_after_failure(self):
+        ran = []
+
+        def boom(results):
+            raise RuntimeError("kaput")
+
+        graph = TaskGraph()
+        graph.add("bad", boom)
+        graph.add("after", lambda r: ran.append("after"), deps=("bad",))
+        with pytest.raises(SchedulerError):
+            graph.run()
+        assert ran == []
+
+
+class TestTimingAttribution:
+    def test_group_busy_sums_member_tasks(self):
+        graph = TaskGraph()
+        graph.add("a1", lambda r: time.sleep(0.02), group="alpha")
+        graph.add("a2", lambda r: time.sleep(0.02), deps=("a1",), group="alpha")
+        graph.add("b1", lambda r: time.sleep(0.01), group="beta")
+        result = graph.run(max_workers=2)
+        busy = result.group_busy_seconds()
+        assert busy["alpha"] >= 0.04
+        assert busy["beta"] >= 0.01
+        assert result.busy_seconds == pytest.approx(
+            busy["alpha"] + busy["beta"]
+        )
+
+    def test_ungrouped_task_groups_under_own_name(self):
+        graph = TaskGraph()
+        graph.add("solo", lambda r: None)
+        result = graph.run()
+        assert "solo" in result.group_busy_seconds()
+
+
+class TestResultLifetime:
+    def test_intermediate_results_freed_after_last_reader(self):
+        graph = TaskGraph()
+        graph.add("big", lambda r: list(range(1000)))
+        graph.add("mid", lambda r: len(r["big"]), deps=("big",))
+        graph.add("sink", lambda r: r["mid"] + 1, deps=("mid",))
+        result = graph.run()
+        # Intermediates were dropped once nothing could read them...
+        assert "big" not in result.results
+        assert "mid" not in result.results
+        # ...while the sink (no dependents) is kept.
+        assert result.results["sink"] == 1001
+        # Timings survive freeing.
+        assert set(result.timings) == {"big", "mid", "sink"}
+
+    def test_retained_results_survive_their_readers(self):
+        graph = TaskGraph()
+        graph.add("kept", lambda r: 7, retain=True)
+        graph.add("reader", lambda r: r["kept"] * 2, deps=("kept",))
+        result = graph.run()
+        assert result.results["kept"] == 7
+        assert result.results["reader"] == 14
+
+    def test_shared_dependency_freed_only_after_all_readers(self):
+        graph = TaskGraph()
+        graph.add("root", lambda r: 5)
+        graph.add("a", lambda r: r["root"] + 1, deps=("root",))
+        graph.add("b", lambda r: r["root"] + 2, deps=("root",))
+        result = graph.run(max_workers=2)
+        assert "root" not in result.results
+        assert result.results["a"] == 6 and result.results["b"] == 7
