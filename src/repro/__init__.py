@@ -19,18 +19,29 @@ power-law graph (``N = 2**S`` vertices, ``M = 16*N`` edges):
 
 Quickstart
 ----------
->>> from repro import PipelineConfig, run_pipeline
->>> result = run_pipeline(PipelineConfig(scale=10, seed=7))   # doctest: +SKIP
->>> [k.edges_per_second for k in result.kernels]              # doctest: +SKIP
+>>> from repro import RunSpec, execute_spec
+>>> outcome = execute_spec(RunSpec(scale=10, seed=7))         # doctest: +SKIP
+>>> [r.edges_per_second for r in outcome.records]             # doctest: +SKIP
 
-Top-level re-exports cover the most common entry points; the subpackages
-(`repro.generators`, `repro.edgeio`, `repro.sort`, `repro.grb`,
-`repro.frame`, `repro.backends`, `repro.pagerank`, `repro.parallel`,
+The declarative surface (`repro.api`: `RunSpec`, scenarios,
+`execute_spec`; `repro.service`: `BenchmarkService`, `repro serve`) is
+the public entry point; `Pipeline`/`run_pipeline` remain as
+compatibility shims.  The subpackages (`repro.generators`,
+`repro.edgeio`, `repro.sort`, `repro.grb`, `repro.frame`,
+`repro.backends`, `repro.pagerank`, `repro.parallel`,
 `repro.perfmodel`, `repro.harness`) expose the full substrate APIs.
 """
 
 from __future__ import annotations
 
+from repro.api import (
+    RunSpec,
+    SweepSpec,
+    execute_spec,
+    execute_sweep,
+    get_scenario,
+    scenario_names,
+)
 from repro.core.config import KernelName, PipelineConfig
 from repro.core.pipeline import Pipeline, run_pipeline
 from repro.core.results import KernelResult, PipelineResult
@@ -44,8 +55,14 @@ __all__ = [
     "Pipeline",
     "PipelineConfig",
     "PipelineResult",
+    "RunSpec",
+    "SweepSpec",
     "available_backends",
+    "execute_spec",
+    "execute_sweep",
     "get_backend",
+    "get_scenario",
     "run_pipeline",
+    "scenario_names",
     "__version__",
 ]

@@ -1,0 +1,167 @@
+"""Execute RunSpecs and SweepSpecs: the API's engine room.
+
+:func:`execute_spec` is the single code path between a declarative
+:class:`~repro.api.spec.RunSpec` and pipeline execution — the CLI's
+``run``, the :class:`~repro.service.BenchmarkService` workers, and
+programmatic callers all land here, so repeat discipline, contract
+gating, and cache routing cannot drift between surfaces.
+
+:func:`execute_sweep` lowers a :class:`~repro.api.spec.SweepSpec` onto
+the existing sweep harness (capability-aware cell skipping, best-time
+repeat policy) rather than reimplementing it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, fields as dataclass_fields
+from pathlib import Path
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.api.spec import RunSpec, SweepSpec
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import run_pipeline
+from repro.core.results import PipelineResult
+from repro.harness.records import MeasurementRecord, best_records
+
+#: Progress callback signature shared with the sweep harness:
+#: ``fn(config, repeat_index)`` before each pipeline run.
+ProgressFn = Callable[[PipelineConfig, int], None]
+
+
+def rank_sha256(rank: np.ndarray) -> str:
+    """Bit-exact digest of a rank vector (float64 little-endian bytes).
+
+    The service's parity currency: two runs produced the same PageRank
+    iff their digests match — no tolerance, no summary statistics.
+    """
+    data = np.ascontiguousarray(np.asarray(rank, dtype="<f8"))
+    return hashlib.sha256(data.tobytes()).hexdigest()
+
+
+@dataclass
+class RunOutcome:
+    """Everything one executed :class:`RunSpec` produced.
+
+    Attributes
+    ----------
+    spec:
+        The spec that ran.
+    results:
+        One :class:`~repro.core.results.PipelineResult` per repeat, in
+        run order.
+    records:
+        Best-per-kernel :class:`MeasurementRecord`s across the repeats
+        (see :func:`repro.harness.records.best_records`).
+    """
+
+    spec: RunSpec
+    results: List[PipelineResult] = field(default_factory=list)
+    records: List[MeasurementRecord] = field(default_factory=list)
+
+    @property
+    def result(self) -> PipelineResult:
+        """The last repeat's result (reports/validation read this; for
+        warm-cache scenarios it is the one showing the cache hits)."""
+        return self.results[-1]
+
+    @property
+    def rank(self) -> Optional[np.ndarray]:
+        """The final PageRank vector (identical across repeats)."""
+        return self.results[-1].rank if self.results else None
+
+    @property
+    def rank_digest(self) -> Optional[str]:
+        """Bit-exact SHA-256 of :attr:`rank` (see :func:`rank_sha256`)."""
+        rank = self.rank
+        return None if rank is None else rank_sha256(rank)
+
+
+def execute_spec(
+    spec: RunSpec,
+    *,
+    cache_dir: Optional[Path] = None,
+    progress: Optional[ProgressFn] = None,
+) -> RunOutcome:
+    """Run one spec (all its repeats) and aggregate the outcome.
+
+    Parameters
+    ----------
+    spec:
+        What to run.
+    cache_dir:
+        The executing environment's artifact-cache root; consulted only
+        when ``spec.cache_policy`` allows it.
+    progress:
+        Optional ``fn(config, repeat_index)`` status callback.
+
+    Examples
+    --------
+    >>> outcome = execute_spec(RunSpec(scale=6, backend="numpy"))
+    >>> len(outcome.results), len(outcome.records)
+    (1, 4)
+    """
+    config = spec.to_config(cache_dir)
+    results: List[PipelineResult] = []
+    for repeat in range(spec.repeats):
+        if progress is not None:
+            progress(config, repeat)
+        results.append(run_pipeline(config, verify=spec.verify))
+    records = best_records(
+        MeasurementRecord.from_result(result) for result in results
+    )
+    return RunOutcome(spec=spec, results=results, records=records)
+
+
+def sweep_plan(sweep: SweepSpec, cache_dir: Optional[Path] = None):
+    """Lower a :class:`SweepSpec` to the harness's ``SweepPlan``.
+
+    Every non-swept pipeline field of ``sweep.base`` rides along as a
+    config override, so a sweep cell differs from the base spec only on
+    the grid axes.
+    """
+    from repro.harness.sweep import SweepPlan
+
+    base_config = sweep.base.to_config(cache_dir)
+    swept = {"scale", "edge_factor", "seed", "backend", "execution",
+             "cache_dir"}
+    overrides = {
+        f.name: getattr(base_config, f.name)
+        for f in dataclass_fields(PipelineConfig)
+        if f.name not in swept
+    }
+    return SweepPlan(
+        scales=list(sweep.scales),
+        backends=list(sweep.backends),
+        edge_factor=base_config.edge_factor,
+        seed=base_config.seed,
+        repeats=sweep.repeats,
+        execution=base_config.execution,
+        cache_dir=base_config.cache_dir,
+        config_overrides=overrides,
+    )
+
+
+def execute_sweep(
+    sweep: SweepSpec,
+    *,
+    cache_dir: Optional[Path] = None,
+    progress: Optional[ProgressFn] = None,
+) -> List[MeasurementRecord]:
+    """Run a sweep grid and return its per-kernel records.
+
+    Delegates to :func:`repro.harness.sweep.run_sweep` — cells whose
+    backend lacks the execution strategy's capability are skipped with
+    a warning, and contract checks follow ``sweep.base.validation``
+    (default ``"contracts"``; sweeps meant for measurement should set
+    ``"off"``, as the CLI does).
+    """
+    from repro.harness.sweep import run_sweep
+
+    return run_sweep(
+        sweep_plan(sweep, cache_dir),
+        verify=sweep.base.verify,
+        progress=progress,
+    )

@@ -1,21 +1,42 @@
-"""CLI subcommand implementations (thin wrappers over the library)."""
+"""CLI subcommand implementations: thin clients over :mod:`repro.api`.
+
+Every benchmark-executing command builds a declarative
+:class:`~repro.api.spec.RunSpec`/:class:`~repro.api.spec.SweepSpec`
+(possibly from a ``--scenario`` name) and hands it to the API layer —
+no command constructs a ``Pipeline`` or plumbs config fields into the
+executors directly.  Output discipline: requested payloads (``--json``,
+tables, reports) go to **stdout**; progress and diagnostics go to
+**stderr**; exit codes are 0 success, 1 benchmark-level failure
+(contract violation, validation mismatch), 2 usage error.
+"""
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
+from typing import Dict
 
-import numpy as np
-
+from repro.api import (
+    RunSpec,
+    SweepSpec,
+    execute_spec,
+    execute_sweep,
+    get_scenario,
+    BUILTIN_SCENARIOS,
+)
 from repro.backends.registry import available_backends
 from repro.core.config import KernelName, PipelineConfig
-from repro.core.pipeline import run_pipeline
 from repro.generators.registry import available_generators
 from repro.harness.experiments import available_experiments, run_experiment
 from repro.harness.records import save_records
-from repro.harness.sweep import SweepPlan, run_sweep
 from repro.harness.tables import render_table
+
+
+def _diag(message: str) -> None:
+    """Print a diagnostic line (never the requested payload) to stderr."""
+    print(message, file=sys.stderr, flush=True)
 
 
 def _print_kernel_report(result) -> None:
@@ -54,33 +75,145 @@ def _print_kernel_report(result) -> None:
             )
 
 
+#: ``run`` argument → :class:`RunSpec` field (identity unless renamed).
+_RUN_SPEC_ARGS = {
+    "scale": "scale",
+    "edge_factor": "edge_factor",
+    "seed": "seed",
+    "num_files": "num_files",
+    "backend": "backend",
+    "generator": "generator",
+    "damping": "damping",
+    "iterations": "iterations",
+    "file_format": "file_format",
+    "sort_algorithm": "sort_algorithm",
+    "external_sort": "external_sort",
+    "formula": "formula",
+    "execution": "execution",
+    "ranks": "parallel_ranks",
+    "parallel_executor": "parallel_executor",
+    "batch_edges": "streaming_batch_edges",
+    "data_dir": "data_dir",
+    "repeats": "repeats",
+}
+
+
+def _validation_mode(
+    args: argparse.Namespace, base: str = "contracts"
+) -> str:
+    """Compose the two independent flag pairs over a base mode.
+
+    ``--validate``/``--no-validate`` toggle the eigenvector check and
+    ``--no-verify`` drops the contracts — each flag moves only its own
+    axis, so ``--no-verify`` on a scenario with full validation yields
+    ``validate-only``, not ``off``.
+    """
+    validate = base in ("full", "validate-only")
+    contracts = base in ("full", "contracts")
+    if args.validate:
+        validate = True
+    if args.no_validate:
+        validate = False
+    if args.no_verify:
+        contracts = False
+    if validate:
+        return "full" if contracts else "validate-only"
+    return "contracts" if contracts else "off"
+
+
+def _explicit_run_flags(args: argparse.Namespace) -> Dict[str, object]:
+    """Spec fields whose flags the user actually set.
+
+    A flag counts as explicit when its token appears on the original
+    command line (``--repeats 1`` overrides a scenario even though 1
+    equals the parser default) *or* its parsed value differs from the
+    parser default (the fallback for library callers handing in a bare
+    namespace, and for exotic spellings the token scan misses, e.g.
+    argparse prefix abbreviations).
+    """
+    argv = getattr(args, "_argv", None) or []
+    present = {
+        arg
+        for arg in _RUN_SPEC_ARGS
+        for opt in ("--" + arg.replace("_", "-"),)
+        if any(tok == opt or tok.startswith(opt + "=") for tok in argv)
+    }
+    parser: argparse.ArgumentParser = args.run_parser
+    return {
+        spec_field: getattr(args, arg)
+        for arg, spec_field in _RUN_SPEC_ARGS.items()
+        if arg in present or getattr(args, arg) != parser.get_default(arg)
+    }
+
+
+def run_spec_from_args(args: argparse.Namespace) -> RunSpec:
+    """Build the job spec the ``run`` command submits.
+
+    Without ``--scenario``, every flag maps straight onto a spec field.
+    With it, the scenario provides the spec and any flag present on the
+    command line overrides the matching field (so ``repro run
+    --scenario paper-s18 --seed 9`` reseeds the scenario without
+    disturbing its shape).
+    """
+    if args.scenario is None:
+        overrides: Dict[str, object] = {
+            spec_field: getattr(args, arg)
+            for arg, spec_field in _RUN_SPEC_ARGS.items()
+        }
+        overrides["validation"] = _validation_mode(args)
+        return RunSpec(**overrides)  # type: ignore[arg-type]
+    spec = get_scenario(args.scenario, **_explicit_run_flags(args))
+    if args.validate or args.no_validate or args.no_verify:
+        spec = spec.with_overrides(
+            validation=_validation_mode(args, base=spec.validation)
+        )
+    return spec
+
+
 def cmd_run(args: argparse.Namespace) -> int:
-    """One pipeline run."""
-    config = PipelineConfig(
-        scale=args.scale,
-        edge_factor=args.edge_factor,
-        seed=args.seed,
-        num_files=args.num_files,
-        backend=args.backend,
-        generator=args.generator,
-        damping=args.damping,
-        iterations=args.iterations,
-        data_dir=Path(args.data_dir) if args.data_dir else None,
-        file_format=args.file_format,
-        sort_algorithm=args.sort_algorithm,
-        external_sort=args.external_sort,
-        validate=args.validate and not args.no_validate,
-        keep_files=args.data_dir is not None,
-        execution=args.execution,
+    """One pipeline job, declaratively specified, run via the API."""
+    spec = run_spec_from_args(args)
+    if spec.repeats > 1 and spec.cache_policy == "shared" \
+            and not args.cache_dir:
+        # cache-warm-style workloads are pointless without a cache root.
+        _diag(
+            "note: this spec repeats with cache_policy='shared' but no "
+            "--cache-dir is set; repeats will regenerate everything "
+            "instead of recording cache hits"
+        )
+    outcome = execute_spec(
+        spec,
         cache_dir=Path(args.cache_dir) if args.cache_dir else None,
-        parallel_ranks=args.ranks,
-        streaming_batch_edges=args.batch_edges,
     )
-    result = run_pipeline(config, verify=not args.no_verify)
+    result = outcome.result
+    failed = result.validation is not None and not result.validation["passed"]
     if args.json:
-        print(result.to_json())
-        return 0
+        doc = result.to_dict()
+        if spec.repeats > 1:
+            # The per-kernel best across repeats (what the sweep
+            # harness reports); `kernels` above is the last repeat.
+            from dataclasses import asdict
+
+            doc["best_records"] = [asdict(r) for r in outcome.records]
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        if failed:
+            _diag(
+                "error: validation failed "
+                f"(l1={result.validation['l1_distance']:.4f}, "
+                f"cosine={result.validation['cosine_similarity']:.6f})"
+            )
+        return 1 if failed else 0
     _print_kernel_report(result)
+    if spec.repeats > 1:
+        rows = [
+            [r.kernel, f"{r.seconds:.4f}",
+             "-" if r.cached else f"{r.edges_per_second:,.0f}"]
+            for r in outcome.records
+        ]
+        print(render_table(
+            ["kernel", "seconds", "edges/s"], rows,
+            title=f"best of {spec.repeats} repeats",
+        ))
     if result.validation is not None:
         status = "PASS" if result.validation["passed"] else "FAIL"
         print(
@@ -88,26 +221,42 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"(l1={result.validation['l1_distance']:.4f}, "
             f"cosine={result.validation['cosine_similarity']:.6f})"
         )
-        if not result.validation["passed"]:
-            return 1
-    return 0
+    return 1 if failed else 0
+
+
+def sweep_spec_from_args(args: argparse.Namespace) -> SweepSpec:
+    """Build the grid spec behind ``sweep``/``report``.
+
+    Measurement sweeps run with contracts off (their extra file reads
+    would perturb I/O caching between kernels) — matching the harness's
+    historical default.
+    """
+    base = RunSpec(
+        scale=args.scales[0],
+        seed=args.seed,
+        execution=args.execution,
+        validation="off",
+        cache_policy="shared" if args.cache_dir else "off",
+    )
+    return SweepSpec(
+        base=base,
+        scales=tuple(args.scales),
+        backends=tuple(args.backends),
+        repeats=args.repeats,
+    )
+
+
+def _sweep_progress(config, repeat) -> None:
+    _diag(f"... backend={config.backend} scale={config.scale} repeat={repeat}")
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Backend x scale sweep with a summary table."""
-    plan = SweepPlan(
-        scales=args.scales,
-        backends=args.backends,
-        seed=args.seed,
-        repeats=args.repeats,
-        execution=args.execution,
+    records = execute_sweep(
+        sweep_spec_from_args(args),
         cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+        progress=_sweep_progress,
     )
-
-    def progress(config, repeat):
-        print(f"... backend={config.backend} scale={config.scale} repeat={repeat}")
-
-    records = run_sweep(plan, progress=progress)
     rows = [
         [r.backend, r.scale, r.kernel, f"{r.seconds:.4f}", f"{r.edges_per_second:,.0f}"]
         for r in records
@@ -184,10 +333,11 @@ def cmd_parallel(args: argparse.Namespace) -> int:
 
 def cmd_validate(args: argparse.Namespace) -> int:
     """Run the pipeline and the Section IV.D eigenvector check."""
-    config = PipelineConfig(
-        scale=args.scale, seed=args.seed, backend=args.backend, validate=True
+    spec = RunSpec(
+        scale=args.scale, seed=args.seed, backend=args.backend,
+        validation="full",
     )
-    result = run_pipeline(config)
+    result = execute_spec(spec).result
     report = result.validation
     assert report is not None
     status = "PASS" if report["passed"] else "FAIL"
@@ -229,15 +379,11 @@ def cmd_report(args: argparse.Namespace) -> int:
     """Run sweeps and emit a paper-vs-measured markdown report."""
     from repro.harness.report import build_report
 
-    plan = SweepPlan(scales=args.scales, backends=args.backends,
-                     repeats=args.repeats, execution=args.execution,
-                     cache_dir=Path(args.cache_dir) if args.cache_dir else None)
-
-    def progress(config, repeat):
-        print(f"... backend={config.backend} scale={config.scale} "
-              f"repeat={repeat}", flush=True)
-
-    records = run_sweep(plan, progress=progress)
+    records = execute_sweep(
+        sweep_spec_from_args(args),
+        cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+        progress=_sweep_progress,
+    )
     document = build_report(records)
     if args.output:
         Path(args.output).write_text(document, encoding="utf-8")
@@ -343,7 +489,18 @@ def cmd_cache_rm(args: argparse.Namespace) -> int:
     for entry in removed:
         print(f"removed {entry.kind}/{entry.key} ({_human_bytes(entry.num_bytes)})")
     if not removed:
-        print(f"error: no cache entry with key {args.key!r}", file=sys.stderr)
+        # remove() skips entries whose shared lock a reader holds; an
+        # entry dir still on disk now means "in use", not "absent".
+        kinds = [args.kind] if args.kind else list(ArtifactCache.KINDS)
+        if any(cache.entry_dir(kind, args.key).exists() for kind in kinds):
+            print(
+                f"error: cache entry {args.key!r} is in use by a "
+                f"concurrent reader; retry once its run finishes",
+                file=sys.stderr,
+            )
+        else:
+            print(f"error: no cache entry with key {args.key!r}",
+                  file=sys.stderr)
         return 1
     return 0
 
@@ -365,8 +522,21 @@ def cmd_cache_prune(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the benchmark job service's HTTP front end until ^C."""
+    from repro.service.httpd import run_server
+
+    return run_server(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+        store_path=Path(args.store) if args.store else None,
+    )
+
+
 def cmd_info(args: argparse.Namespace) -> int:
-    """List registered backends, generators, and experiments."""
+    """List registered backends, generators, scenarios, experiments."""
     del args
     print("backends:")
     for name in available_backends():
@@ -374,6 +544,9 @@ def cmd_info(args: argparse.Namespace) -> int:
     print("generators:")
     for name, description in available_generators().items():
         print(f"  {name:12s} {description}")
+    print("scenarios:")
+    for name, description in BUILTIN_SCENARIOS.describe():
+        print(f"  {name:18s} {description}")
     print("experiments:")
     for name, description in available_experiments().items():
         print(f"  {name:8s} {description}")

@@ -14,7 +14,9 @@ from repro.core.config import (
     DEFAULT_STREAMING_BATCH_EDGES,
     EXECUTION_MODES,
     KernelName,
+    PARALLEL_EXECUTORS,
 )
+from repro.core.exceptions import ExecutorCapabilityError, PipelineError
 
 
 def _csv_ints(text: str) -> List[int]:
@@ -63,6 +65,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="run the pipeline once and report")
+    run.add_argument("--scenario", default=None,
+                     help="named workload from the scenario registry "
+                          "(see `repro-pipeline info`); other flags act "
+                          "as overrides when they differ from their "
+                          "defaults")
     run.add_argument("--scale", type=int, default=12, help="Graph500 scale S")
     run.add_argument("--edge-factor", type=int, default=16)
     run.add_argument("--backend", default="scipy")
@@ -78,6 +85,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="force the out-of-core sort path in kernel 1")
     run.add_argument("--file-format", default="tsv",
                      choices=["tsv", "npy", "tsv.gz"])
+    run.add_argument("--formula", default="appendix",
+                     choices=["appendix", "paper-body"],
+                     help="kernel 3 update form (paper-body documents "
+                          "the body text's typo)")
     run.add_argument("--data-dir", default=None,
                      help="keep kernel files here instead of a temp dir")
     run.add_argument("--execution", default="serial",
@@ -95,9 +106,17 @@ def build_parser() -> argparse.ArgumentParser:
                           "--data-dir")
     run.add_argument("--ranks", type=int, default=DEFAULT_PARALLEL_RANKS,
                      help="rank count for --execution parallel")
+    run.add_argument("--parallel-executor", default="sim",
+                     choices=list(PARALLEL_EXECUTORS),
+                     help="communicator for --execution parallel: sim "
+                          "(threads, traffic-accounted) or mp (real "
+                          "processes)")
     run.add_argument("--batch-edges", type=int,
                      default=DEFAULT_STREAMING_BATCH_EDGES,
                      help="pass-1 batch size for --execution streaming")
+    run.add_argument("--repeats", type=int, default=1,
+                     help="repeat the run; per-kernel records keep the "
+                          "best time")
     run.add_argument("--validate", action="store_true",
                      help="run the eigenvector cross-check after kernel 3")
     run.add_argument("--no-validate", action="store_true",
@@ -107,8 +126,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="skip the inter-kernel contract checks "
                           "(benchmark loops only; validation is separate, "
                           "see --no-validate)")
-    run.add_argument("--json", action="store_true", help="emit JSON result")
-    run.set_defaults(func=commands.cmd_run)
+    run.add_argument("--json", action="store_true",
+                     help="emit the JSON result on stdout (diagnostics "
+                          "go to stderr)")
+    # The subparser rides along so cmd_run can tell explicit flags from
+    # defaults when composing them over a --scenario.
+    run.set_defaults(func=commands.cmd_run, run_parser=run)
 
     sweep = sub.add_parser("sweep", help="run a (backend x scale) grid")
     sweep.add_argument("--scales", type=_csv_ints, default=[10, 12, 14])
@@ -186,6 +209,7 @@ def build_parser() -> argparse.ArgumentParser:
                         default=["python", "numpy", "scipy", "dataframe",
                                  "graphblas"])
     report.add_argument("--repeats", type=int, default=1)
+    report.add_argument("--seed", type=int, default=1)
     report.add_argument("--execution", default="serial",
                         choices=list(EXECUTION_MODES))
     report.add_argument("--cache-dir", default=None,
@@ -258,7 +282,29 @@ def build_parser() -> argparse.ArgumentParser:
                              help="size budget, e.g. 500M, 2G, or 0")
     cache_prune.set_defaults(func=commands.cmd_cache_prune)
 
-    info = sub.add_parser("info", help="list backends/generators/experiments")
+    serve = sub.add_parser(
+        "serve",
+        help="start the benchmark job service's JSON-over-HTTP front "
+             "end (submit RunSpecs or scenarios; many concurrent "
+             "clients share one worker pool and artifact cache)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8734,
+                       help="TCP port (0 picks a free one; the bound "
+                            "address is printed on stdout)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="concurrent benchmark jobs")
+    serve.add_argument("--cache-dir", default=None,
+                       help="artifact cache shared by all jobs whose "
+                            "spec allows it")
+    serve.add_argument("--store", default=None,
+                       help="durable JSONL job store (lifecycle events "
+                            "+ per-kernel records)")
+    serve.set_defaults(func=commands.cmd_serve)
+
+    info = sub.add_parser(
+        "info", help="list backends/generators/scenarios/experiments"
+    )
     info.set_defaults(func=commands.cmd_info)
 
     return parser
@@ -268,8 +314,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    # The raw argv rides along so `run --scenario` can tell which flags
+    # were actually typed (see cli.commands._explicit_run_flags).
+    args._argv = list(argv) if argv is not None else sys.argv[1:]
     try:
         return args.func(args)
+    except ExecutorCapabilityError as exc:
+        # Strategy/backend mismatch is a usage error (also a ValueError,
+        # but listed first so it never falls into the benchmark-failure
+        # branch below).
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except PipelineError as exc:
+        # Kernel contract violations and their kin: the benchmark ran
+        # and produced provably wrong output — exit 1, diagnose on
+        # stderr (any --json payload already went to stdout).
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
     except (KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

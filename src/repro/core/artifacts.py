@@ -12,25 +12,44 @@ of the canonical JSON of every config field that influences the bytes
 written (scale, seed, generator, shard count, format, …).  Any field
 change produces a new key; stale entries are never silently reused.
 
-Entries are produced in a process-private staging directory and
-published with an atomic rename, so concurrent runs sharing one cache
-root never observe a half-written entry: a racing producer that loses
-the rename simply discards its staging copy and reads the winner's.
+Entries are produced in a producer-private staging directory (unique
+per attempt, so concurrent worker threads sharing one pid cannot
+collide) and published with an atomic rename, so concurrent runs
+sharing one cache root never observe a half-written entry: a racing
+producer that loses the rename simply discards its staging copy and
+reads the winner's.
 As a second line of defence, :class:`~repro.edgeio.dataset.EdgeDataset`
 writes its manifest last and ``open`` refuses a directory without one —
 an entry torn by a hard crash reads as a miss, is purged, and is
 regenerated.
+
+Eviction (``repro cache prune`` / :meth:`ArtifactCache.prune`) is made
+safe against concurrent readers by per-entry advisory lock files
+(``<root>/<kind>/<key>.lock``): readers hold a *shared* lock while an
+entry is open (the executors keep it for the rest of the run, since
+Kernel 1 re-reads the Kernel 0 dataset lazily), and eviction only
+deletes an entry after winning a non-blocking *exclusive* lock — a busy
+entry is simply skipped and remains charged to the cache budget until
+its readers finish.
 """
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
 import shutil
+import tempfile
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+try:  # POSIX advisory locks; the lock degrades to a no-op elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 import numpy as np
 import scipy.sparse as sp
@@ -41,6 +60,10 @@ from repro.edgeio.dataset import EdgeDataset
 
 #: Producer callback: given the entry directory, build the dataset there.
 DatasetProducer = Callable[[Path], Tuple[EdgeDataset, Details]]
+
+#: Sentinel: an entry exists but is provably corrupt (see
+#: :meth:`ArtifactCache._open_entry`).
+_CORRUPT = object()
 
 
 def k0_cache_fields(
@@ -124,6 +147,75 @@ def cache_key(fields: Dict[str, object]) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:24]
 
 
+class EntryLock:
+    """Advisory per-entry file lock: shared readers, exclusive eviction.
+
+    The lock file lives *beside* the entry directory (never inside it),
+    so deleting the entry does not delete the lock out from under a
+    blocked waiter.  On platforms without ``fcntl`` the lock degrades to
+    a no-op — acquisition always succeeds — which preserves the
+    pre-lock behaviour instead of failing.
+    """
+
+    def __init__(self, path: Path) -> None:
+        self.path = Path(path)
+        self._fh = None
+
+    @property
+    def held(self) -> bool:
+        """Whether this object currently holds the lock."""
+        return self._fh is not None
+
+    def acquire(self, *, shared: bool, blocking: bool = True) -> bool:
+        """Take the lock; returns False only for a non-blocking attempt
+        that lost to a conflicting holder.
+
+        Any other ``flock`` failure (``ENOLCK`` on an NFS mount without
+        a lock daemon, …) raises: silently proceeding unlocked would
+        let eviction tear the entry out from under the caller — the
+        exact race this lock exists to prevent.
+        """
+        if self._fh is not None:
+            raise RuntimeError(f"lock {self.path} is already held")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fh = open(self.path, "ab")
+        if fcntl is not None:
+            flags = fcntl.LOCK_SH if shared else fcntl.LOCK_EX
+            if not blocking:
+                flags |= fcntl.LOCK_NB
+            try:
+                fcntl.flock(fh.fileno(), flags)
+            except OSError as exc:
+                fh.close()
+                if not blocking and exc.errno in (
+                    errno.EAGAIN, errno.EACCES, errno.EWOULDBLOCK,
+                ):
+                    return False
+                raise
+        self._fh = fh
+        return True
+
+    def release(self) -> None:
+        """Drop the lock (idempotent)."""
+        if self._fh is None:
+            return
+        try:
+            if fcntl is not None:
+                fcntl.flock(self._fh.fileno(), fcntl.LOCK_UN)
+        finally:
+            self._fh.close()
+            self._fh = None
+
+    @contextmanager
+    def shared(self) -> Iterator["EntryLock"]:
+        """Hold the lock in shared (reader) mode for the block."""
+        self.acquire(shared=True)
+        try:
+            yield self
+        finally:
+            self.release()
+
+
 @dataclass(frozen=True)
 class CacheEntry:
     """One published cache entry, as seen by ``ls``/eviction.
@@ -168,8 +260,17 @@ class ArtifactCache:
         """Directory holding one cache entry."""
         return self.root / kind / key
 
+    def entry_lock(self, kind: str, key: str) -> EntryLock:
+        """The advisory lock guarding one entry against eviction."""
+        return EntryLock(self.root / kind / f"{key}.lock")
+
     def dataset(
-        self, kind: str, fields: Dict[str, object], producer: DatasetProducer
+        self,
+        kind: str,
+        fields: Dict[str, object],
+        producer: DatasetProducer,
+        *,
+        hold: Optional[List[EntryLock]] = None,
     ) -> Tuple[EdgeDataset, Details]:
         """Return the cached dataset for ``fields``, producing on miss.
 
@@ -182,6 +283,12 @@ class ArtifactCache:
         producer:
             Invoked with the entry directory on a miss; must write the
             dataset there and return ``(dataset, details)``.
+        hold:
+            When given, a shared :class:`EntryLock` on the entry is
+            acquired and appended here instead of being released before
+            return — the caller keeps eviction away from the (lazily
+            read) dataset until it releases the lock.  Omitted, the
+            lock only covers the open itself.
 
         Returns
         -------
@@ -192,14 +299,20 @@ class ArtifactCache:
         """
         key = cache_key(fields)
         entry = self.entry_dir(kind, key)
-        hit = self._open_entry(entry, key)
+        hit = self._open_locked(kind, key, hold)
         if hit is not None:
             return hit
 
-        # Miss: produce into a process-private staging dir, then publish
-        # atomically so concurrent runs never see a half-written entry.
-        staging = entry.with_name(f"{entry.name}.tmp-{os.getpid()}")
-        shutil.rmtree(staging, ignore_errors=True)
+        # Miss: produce into a producer-private staging dir, then
+        # publish atomically so concurrent runs never see a half-written
+        # entry.  mkdtemp makes the staging name unique per *attempt* —
+        # concurrent producers in one process (the service's worker
+        # threads share a pid) must not collide on it.  The lock is not
+        # held while producing; publication is an atomic rename.
+        entry.parent.mkdir(parents=True, exist_ok=True)
+        staging = Path(tempfile.mkdtemp(
+            prefix=f"{entry.name}.tmp-", dir=entry.parent
+        ))
         discard_staging = True
         try:
             dataset, details = producer(staging)
@@ -219,19 +332,72 @@ class ArtifactCache:
                 os.replace(staging, entry)
             except OSError:
                 # A racing producer published first; use its entry.
-                winner = self._open_entry(entry, key)
+                winner = self._open_locked(kind, key, hold)
                 if winner is not None:
                     return winner[0], details
                 # Winner unreadable: fall back to our staging copy.
                 discard_staging = False
                 return dataset, details
+            published = self._open_locked(kind, key, hold)
+            if published is not None:
+                return published[0], details
+            # Evicted between publish and reopen (possible but absurd —
+            # a prune racing a brand-new entry); the staging copy is
+            # gone, so reopening the entry path is all we have.
             return EdgeDataset.open(entry), details
         finally:
             if discard_staging:
                 shutil.rmtree(staging, ignore_errors=True)
 
+    def _open_locked(
+        self, kind: str, key: str, hold: Optional[List[EntryLock]]
+    ):
+        """Open a published entry under its shared lock.
+
+        On a clean hit the lock is either handed to ``hold`` or
+        released (the caller got its data).  A provably-corrupt entry
+        is purged *after* the shared lock is dropped and only if the
+        exclusive lock can be won — never out from under a concurrent
+        reader — and reads as a miss either way.
+        """
+        lock = self.entry_lock(kind, key)
+        lock.acquire(shared=True)
+        try:
+            opened = self._open_entry(self.entry_dir(kind, key), key)
+            if opened is not None and opened is not _CORRUPT:
+                if hold is not None:
+                    hold.append(lock)
+                    lock = None  # ownership transferred to the caller
+                return opened
+        finally:
+            if lock is not None:
+                lock.release()
+        if opened is _CORRUPT:
+            self._purge_corrupt(kind, key)
+        return None
+
+    def _purge_corrupt(self, kind: str, key: str) -> None:
+        """Delete a provably-bad entry iff the exclusive lock is free.
+
+        A busy lock means another process is mid-read; it will reach
+        the same corruption verdict itself (or finish with the old
+        bytes), so skipping is safe — the entry stays a miss for us.
+        """
+        lock = self.entry_lock(kind, key)
+        if not lock.acquire(shared=False, blocking=False):
+            return
+        try:
+            shutil.rmtree(self.entry_dir(kind, key), ignore_errors=True)
+        finally:
+            lock.release()
+
     def _open_entry(self, entry: Path, key: str):
-        """Open a published entry, purging it only when provably bad."""
+        """Open a published entry; :data:`_CORRUPT` when provably bad.
+
+        The caller (:meth:`_open_locked`) owns purging — it happens
+        under the entry's *exclusive* lock, never from here where only
+        the shared lock is held.
+        """
         from repro.edgeio.errors import EdgeIOError
 
         if not (entry / "manifest.json").exists():
@@ -240,12 +406,11 @@ class ArtifactCache:
             dataset = EdgeDataset.open(entry)
         except (EdgeIOError, ValueError, KeyError):
             # Corruption the verifier detected (missing shard, size or
-            # CRC mismatch, unparseable manifest): purge so the caller
-            # regenerates.  Transient I/O errors (EMFILE, EACCES, …)
-            # propagate instead — deleting a shared entry that another
-            # process may be reading is never the answer to those.
-            shutil.rmtree(entry, ignore_errors=True)
-            return None
+            # CRC mismatch, unparseable manifest).  Transient I/O
+            # errors (EMFILE, EACCES, …) propagate instead — deleting
+            # a shared entry that another process may be reading is
+            # never the answer to those.
+            return _CORRUPT
         self._touch(entry)
         return dataset, {
             "artifact_cache": "hit",
@@ -272,25 +437,35 @@ class ArtifactCache:
 
         Returns ``(matrix, meta)`` where ``meta`` is whatever
         :meth:`store_csr` recorded (e.g. ``pre_filter_entry_total``).
-        A torn or unreadable entry is purged and reads as a miss.
+        A torn or unreadable entry is purged and reads as a miss.  The
+        entry's shared lock is held only for the load — the matrix is
+        fully materialised in memory before return, so eviction cannot
+        tear it afterwards.
         """
-        entry = self.entry_dir(kind, cache_key(fields))
+        key = cache_key(fields)
+        entry = self.entry_dir(kind, key)
         payload = entry / "csr.npz"
         meta_path = entry / "meta.json"
-        if not payload.exists() or not meta_path.exists():
+        with self.entry_lock(kind, key).shared():
+            if not payload.exists() or not meta_path.exists():
+                return None
+            try:
+                meta = json.loads(meta_path.read_text(encoding="utf-8"))
+                with np.load(payload) as archive:
+                    shape = tuple(int(x) for x in archive["shape"])
+                    matrix = sp.csr_matrix(
+                        (archive["data"], archive["indices"], archive["indptr"]),
+                        shape=shape,
+                    )
+            except (OSError, ValueError, KeyError, json.JSONDecodeError):
+                matrix = None
+            else:
+                self._touch(entry)
+        if matrix is None:
+            # Unreadable entry: purge only if the exclusive lock can be
+            # won (see _purge_corrupt) — never under a reader.
+            self._purge_corrupt(kind, key)
             return None
-        try:
-            meta = json.loads(meta_path.read_text(encoding="utf-8"))
-            with np.load(payload) as archive:
-                shape = tuple(int(x) for x in archive["shape"])
-                matrix = sp.csr_matrix(
-                    (archive["data"], archive["indices"], archive["indptr"]),
-                    shape=shape,
-                )
-        except (OSError, ValueError, KeyError, json.JSONDecodeError):
-            shutil.rmtree(entry, ignore_errors=True)
-            return None
-        self._touch(entry)
         return matrix, meta
 
     def store_csr(
@@ -307,9 +482,10 @@ class ArtifactCache:
         """
         key = cache_key(fields)
         entry = self.entry_dir(kind, key)
-        staging = entry.with_name(f"{entry.name}.tmp-{os.getpid()}")
-        shutil.rmtree(staging, ignore_errors=True)
-        staging.mkdir(parents=True, exist_ok=True)
+        entry.parent.mkdir(parents=True, exist_ok=True)
+        staging = Path(tempfile.mkdtemp(
+            prefix=f"{entry.name}.tmp-", dir=entry.parent
+        ))
         try:
             matrix = matrix.tocsr()
             np.savez(
@@ -378,15 +554,72 @@ class ArtifactCache:
         """Summed on-disk size of all published entries."""
         return sum(entry.num_bytes for entry in self.entries())
 
+    def _evict(self, entry: CacheEntry) -> bool:
+        """Delete one entry iff no reader holds its lock.
+
+        Takes the entry's exclusive lock *non-blocking*: a conflicting
+        shared holder means the entry is being read right now, so it is
+        skipped (still charged to the budget) rather than torn out from
+        under the reader.  The lock *file* is deliberately never
+        deleted — it is the flock rendezvous point for its key, and
+        unlinking it would strand a blocked waiter on an orphaned inode
+        where a later evictor (locking a fresh inode at the same path)
+        could delete the regenerated entry out from under it.  Lock
+        files are empty; the disk cost of keeping them is bytes.
+        """
+        lock = self.entry_lock(entry.kind, entry.key)
+        if not lock.acquire(shared=False, blocking=False):
+            return False
+        try:
+            shutil.rmtree(entry.path, ignore_errors=True)
+            return True
+        finally:
+            lock.release()
+
+    #: Staging directories older than this are presumed crashed (a live
+    #: produce takes seconds to minutes) and reclaimed by :meth:`prune`.
+    STALE_STAGING_SECONDS = 24 * 3600.0
+
+    def _reclaim_stale_staging(self) -> None:
+        """Delete ``*.tmp-*`` staging dirs abandoned by a crashed producer.
+
+        Staging names are unique per attempt (``mkdtemp``), so nothing
+        ever reuses an orphan; without this sweep a SIGKILLed producer
+        would leak its partial shards in the shared cache root forever
+        (invisible to :meth:`entries`, uncharged to the budget).  Only
+        directories untouched for :data:`STALE_STAGING_SECONDS` are
+        removed — a live producer's staging is never at risk.
+        """
+        import time
+
+        cutoff = time.time() - self.STALE_STAGING_SECONDS
+        for kind in self.KINDS:
+            kind_dir = self.root / kind
+            if not kind_dir.is_dir():
+                continue
+            for path in kind_dir.iterdir():
+                if ".tmp-" not in path.name or not path.is_dir():
+                    continue
+                try:
+                    newest = max(
+                        [path.stat().st_mtime]
+                        + [p.stat().st_mtime for p in path.rglob("*")]
+                    )
+                except OSError:
+                    continue  # vanished mid-walk (its producer finished)
+                if newest < cutoff:
+                    shutil.rmtree(path, ignore_errors=True)
+
     def remove(self, key: str, kind: Optional[str] = None) -> List[CacheEntry]:
         """Delete entries matching ``key`` (optionally restricted to one
-        kind); returns what was removed."""
+        kind); returns what was removed.  Entries currently being read
+        (shared lock held) are left in place."""
         removed = []
         for entry in self.entries():
             if entry.key != key or (kind is not None and entry.kind != kind):
                 continue
-            shutil.rmtree(entry.path, ignore_errors=True)
-            removed.append(entry)
+            if self._evict(entry):
+                removed.append(entry)
         return removed
 
     def prune(self, max_bytes: int) -> List[CacheEntry]:
@@ -395,17 +628,21 @@ class ArtifactCache:
 
         Eviction is mtime-ordered and hits touch their entry, so
         recently used artifacts survive.  ``max_bytes=0`` empties the
-        cache.
+        cache.  An entry whose shared lock is held by a concurrent
+        reader is skipped — it stays on disk (and in the byte total)
+        until its readers finish; a later prune collects it.
         """
         if max_bytes < 0:
             raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        self._reclaim_stale_staging()
         entries = self.entries()
         total = sum(entry.num_bytes for entry in entries)
         evicted: List[CacheEntry] = []
         for entry in entries:  # oldest first
             if total <= max_bytes:
                 break
-            shutil.rmtree(entry.path, ignore_errors=True)
+            if not self._evict(entry):
+                continue  # in use by a concurrent reader
             total -= entry.num_bytes
             evicted.append(entry)
         return evicted

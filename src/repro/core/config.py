@@ -44,6 +44,8 @@ DEFAULT_ITERATIONS = 20
 EXECUTION_MODES = ("serial", "streaming", "parallel", "async")
 #: Default rank count for the "parallel" strategy (config and CLI).
 DEFAULT_PARALLEL_RANKS = 4
+#: Communicators selectable by the "parallel" strategy.
+PARALLEL_EXECUTORS = ("sim", "mp")
 #: Default pass-1 batch size for the "streaming" strategy (config, CLI,
 #: and :func:`repro.core.streaming.streaming_kernel2`).
 DEFAULT_STREAMING_BATCH_EDGES = 1 << 18
@@ -105,6 +107,11 @@ class PipelineConfig:
         caching.
     parallel_ranks:
         Rank count for the ``"parallel"`` execution strategy.
+    parallel_executor:
+        Communicator for the ``"parallel"`` strategy: ``"sim"``
+        (threads, traffic-accounted) or ``"mp"`` (multiprocessing, true
+        process parallelism; traffic is logged per process and not
+        aggregated).
     streaming_batch_edges:
         Pass-1 batch size (the memory knob) for the ``"streaming"``
         strategy.
@@ -130,6 +137,7 @@ class PipelineConfig:
     execution: str = "serial"
     cache_dir: Optional[Path] = None
     parallel_ranks: int = DEFAULT_PARALLEL_RANKS
+    parallel_executor: str = "sim"
     streaming_batch_edges: int = DEFAULT_STREAMING_BATCH_EDGES
 
     def __post_init__(self) -> None:
@@ -157,6 +165,11 @@ class PipelineConfig:
                 f"got {self.execution!r}"
             )
         check_positive_int("parallel_ranks", self.parallel_ranks)
+        if self.parallel_executor not in PARALLEL_EXECUTORS:
+            raise ValueError(
+                f"parallel_executor must be one of {PARALLEL_EXECUTORS}, "
+                f"got {self.parallel_executor!r}"
+            )
         check_positive_int("streaming_batch_edges", self.streaming_batch_edges)
         if self.data_dir is not None:
             object.__setattr__(self, "data_dir", Path(self.data_dir))

@@ -126,6 +126,7 @@ class Executor:
                 result.validation = self._validate(ctx)
             return result
         finally:
+            ctx.release_locks()
             if own_dir and not config.keep_files:
                 shutil.rmtree(base_dir, ignore_errors=True)
 
@@ -210,10 +211,15 @@ class Executor:
     @staticmethod
     def _maybe_cached(ctx, kind, fields, producer) -> StageOutput:
         """Route a dataset-producing stage through the artifact cache
-        when ``config.cache_dir`` is set, else into the run directory."""
+        when ``config.cache_dir`` is set, else into the run directory.
+
+        The entry's shared lock is held for the rest of the run (via
+        ``ctx.held_locks``): later stages read the dataset's shards
+        lazily, and a concurrent ``prune`` must not evict them
+        mid-read."""
         if ctx.config.cache_dir is not None:
             cache = ArtifactCache(ctx.config.cache_dir)
-            return cache.dataset(kind, fields, producer)
+            return cache.dataset(kind, fields, producer, hold=ctx.held_locks)
         return producer(ctx.base_dir / kind)
 
     def _run_generate(self, ctx: StageContext) -> StageOutput:
@@ -449,7 +455,7 @@ class ShardParallelExecutor(Executor):
             damping=config.damping,
             iterations=config.iterations,
             formula=config.formula,
-            executor="sim",
+            executor=config.parallel_executor,
         )
         ctx.scratch["parallel_run"] = run
         handle = _ParallelAdjacency(
@@ -464,6 +470,7 @@ class ShardParallelExecutor(Executor):
         details.update(
             {
                 "execution": "parallel",
+                "parallel_executor": config.parallel_executor,
                 "num_ranks": run.num_ranks,
                 "local_nnz": list(run.local_nnz),
                 "edges_processed": len(u),

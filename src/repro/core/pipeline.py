@@ -1,6 +1,15 @@
 """The pipeline façade: a configured benchmark run, ready to execute.
 
-``Pipeline`` is now a thin shim over the stage-graph machinery: it
+.. deprecated::
+    ``Pipeline`` and :func:`run_pipeline` are compatibility shims for
+    the pre-:mod:`repro.api` imperative surface.  They keep working
+    (and are what the API runner itself calls), but new code should
+    describe work as a :class:`repro.api.RunSpec` and hand it to
+    :func:`repro.api.execute_spec` or a
+    :class:`repro.service.BenchmarkService` — one declarative surface
+    for runs, sweeps, and concurrent clients.
+
+``Pipeline`` is a thin shim over the stage-graph machinery: it
 builds the benchmark's default :class:`~repro.core.stages.ExecutionPlan`
 and hands it to the execution strategy named by ``config.execution``
 (serial / streaming / parallel / async — see

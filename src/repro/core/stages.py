@@ -25,7 +25,7 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional, Tuple, TYPE_CHECKING
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 import numpy as np
 
@@ -59,6 +59,11 @@ class StageContext:
         Stage outputs keyed by :attr:`Stage.provides`.
     scratch:
         Executor-private state (e.g. the fused parallel-run result).
+    held_locks:
+        Shared artifact-cache entry locks acquired for this run (cache
+        datasets are read lazily by later stages, so eviction must be
+        kept away until the run ends); released by the executor's
+        :meth:`release_locks` in its ``finally`` block.
     """
 
     config: PipelineConfig
@@ -66,6 +71,12 @@ class StageContext:
     base_dir: Path
     artifacts: Dict[str, object] = field(default_factory=dict)
     scratch: Dict[str, object] = field(default_factory=dict)
+    held_locks: List[object] = field(default_factory=list)
+
+    def release_locks(self) -> None:
+        """Release every held cache-entry lock (idempotent)."""
+        while self.held_locks:
+            self.held_locks.pop().release()
 
     def require(self, key: str) -> object:
         """Fetch an artifact, raising a diagnosable error when missing."""

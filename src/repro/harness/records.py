@@ -10,7 +10,7 @@ import csv
 import json
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Dict, List
+from typing import Dict, Iterable, List
 
 from repro.core.config import KernelName
 from repro.core.results import PipelineResult
@@ -72,6 +72,35 @@ class MeasurementRecord:
                 )
             )
         return records
+
+
+def best_records(
+    runs: Iterable[List[MeasurementRecord]],
+) -> List[MeasurementRecord]:
+    """Best record per kernel across repeated runs of one config.
+
+    The record kept for each kernel is the one with the smallest
+    measured time — except that an artifact-cache *hit* never displaces
+    a real measurement: a cache read times the manifest load, not the
+    kernel's work.  Hit timings survive only when every run hit (the
+    caller is expected to flag those records — see
+    :func:`repro.harness.sweep.run_sweep`).
+
+    Shared by the sweep harness and :func:`repro.api.execute_spec` so
+    the repeat discipline cannot drift between the two surfaces.
+    """
+    best: Dict[str, MeasurementRecord] = {}
+    for records in runs:
+        for record in records:
+            current = best.get(record.kernel)
+            if (
+                current is None
+                or (current.cached and not record.cached)
+                or (current.cached == record.cached
+                    and record.seconds < current.seconds)
+            ):
+                best[record.kernel] = record
+    return [best[kernel] for kernel in sorted(best)]
 
 
 def save_records(records: List[MeasurementRecord], path: Path) -> None:

@@ -14,7 +14,7 @@ from typing import Dict, List, Optional
 
 from repro.core.config import PipelineConfig
 from repro.core.pipeline import run_pipeline
-from repro.harness.records import MeasurementRecord
+from repro.harness.records import MeasurementRecord, best_records
 
 logger = logging.getLogger("repro.harness")
 
@@ -157,7 +157,7 @@ def run_sweep(
 
     records: List[MeasurementRecord] = []
     for config in configs:
-        best: Dict[str, MeasurementRecord] = {}
+        runs: List[List[MeasurementRecord]] = []
         for repeat in range(plan.repeats):
             if progress is not None:
                 progress(config, repeat)
@@ -166,23 +166,15 @@ def run_sweep(
                 config.backend, config.scale, repeat,
             )
             result = run_pipeline(config, verify=verify)
-            for record in MeasurementRecord.from_result(result):
-                current = best.get(record.kernel)
-                if (
-                    current is None
-                    or (current.cached and not record.cached)
-                    or (current.cached == record.cached
-                        and record.seconds < current.seconds)
-                ):
-                    best[record.kernel] = record
-        for kernel in sorted(best):
-            record = best[kernel]
+            runs.append(MeasurementRecord.from_result(result))
+        for record in best_records(runs):
             if record.cached:
                 logger.warning(
                     "kept record for backend=%s scale=%d %s is an "
                     "artifact-cache read (every repeat hit); its "
                     "edges/second is not %s throughput",
-                    record.backend, record.scale, kernel, kernel,
+                    record.backend, record.scale, record.kernel,
+                    record.kernel,
                 )
             records.append(record)
     return records

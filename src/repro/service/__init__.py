@@ -1,0 +1,43 @@
+"""``repro.service`` — the long-lived benchmark job service.
+
+:class:`BenchmarkService` executes :class:`~repro.api.spec.RunSpec`
+jobs concurrently (submit / status / result / cancel), deduplicates
+in-flight duplicates by spec hash, shares one artifact cache across
+workers, and appends every lifecycle event to a durable JSONL
+:class:`~repro.service.jobs.JobStore`.  The stdlib HTTP front end
+(:mod:`repro.service.httpd`, ``repro-pipeline serve``) lets many remote
+clients drive one service.
+"""
+
+from __future__ import annotations
+
+from repro.service.jobs import Job, JobState, JobStore, load_events
+from repro.service.service import (
+    BenchmarkService,
+    JobCancelledError,
+    JobError,
+    JobFailedError,
+    UnknownJobError,
+)
+from repro.service.httpd import (
+    BenchmarkHTTPServer,
+    make_server,
+    run_server,
+    serve_in_thread,
+)
+
+__all__ = [
+    "BenchmarkHTTPServer",
+    "BenchmarkService",
+    "Job",
+    "JobCancelledError",
+    "JobError",
+    "JobFailedError",
+    "JobState",
+    "JobStore",
+    "UnknownJobError",
+    "load_events",
+    "make_server",
+    "run_server",
+    "serve_in_thread",
+]

@@ -1,0 +1,235 @@
+"""JSON-over-HTTP front end for the benchmark service (stdlib only).
+
+``repro-pipeline serve`` starts a :class:`ThreadingHTTPServer` whose
+handler is a thin translation layer over one shared
+:class:`~repro.service.BenchmarkService` — many clients submit
+concurrently; per-request threads funnel into the service's worker
+pool.
+
+Routes::
+
+    GET    /healthz              liveness + job counts
+    GET    /scenarios            registered scenario names/descriptions
+    GET    /jobs                 all job status snapshots
+    POST   /jobs                 submit: {"spec": {...}} or
+                                 {"scenario": "name",
+                                  "overrides": {...}}   -> {"job_id": ...}
+    GET    /jobs/<id>            one job's status
+    GET    /jobs/<id>/result     terminal payload (records, rank digest);
+                                 409 while the job is still in flight
+    DELETE /jobs/<id>            cancel (only a PENDING job can be)
+
+Errors are JSON too: ``{"error": "..."}`` with a 4xx status.  The
+server never imports beyond the stdlib — the paper's "holistic system
+benchmark" framing means the harness must not drag in a web stack the
+platforms under test would not share.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro.api.scenarios import BUILTIN_SCENARIOS, ScenarioRegistry
+from repro.api.spec import RunSpec
+from repro.service.service import BenchmarkService, UnknownJobError
+
+logger = logging.getLogger("repro.service.http")
+
+
+class BenchmarkHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the shared service + registry."""
+
+    #: Per-request threads must not outlive a shutdown mid-job-poll.
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: BenchmarkService,
+        registry: Optional[ScenarioRegistry] = None,
+    ) -> None:
+        super().__init__(address, BenchmarkRequestHandler)
+        self.service = service
+        self.registry = registry if registry is not None else BUILTIN_SCENARIOS
+
+
+class BenchmarkRequestHandler(BaseHTTPRequestHandler):
+    """Translate HTTP verbs/paths into service calls."""
+
+    server: BenchmarkHTTPServer
+    #: Advertised in responses; bump with the JSON shape.
+    server_version = "repro-serve/1.0"
+
+    # -- plumbing ------------------------------------------------------
+    def log_message(self, format: str, *args: object) -> None:
+        logger.debug("%s - %s", self.address_string(), format % args)
+
+    def _reply(self, status: int, doc: Dict[str, object]) -> None:
+        payload = json.dumps(doc, sort_keys=True, default=str).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _error(self, status: int, message: str) -> None:
+        self._reply(status, {"error": message})
+
+    def _read_body(self) -> Dict[str, object]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b"{}"
+        doc = json.loads(raw.decode("utf-8"))
+        if not isinstance(doc, dict):
+            raise ValueError("request body must be a JSON object")
+        return doc
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler API)
+        service = self.server.service
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        try:
+            if parts == ["healthz"]:
+                jobs = service.jobs()
+                self._reply(200, {
+                    "status": "ok",
+                    "jobs": len(jobs),
+                    "in_flight": sum(
+                        1 for j in jobs
+                        if j["state"] in ("pending", "running")
+                    ),
+                })
+            elif parts == ["scenarios"]:
+                self._reply(200, {
+                    "scenarios": [
+                        {"name": name, "description": description}
+                        for name, description in self.server.registry.describe()
+                    ]
+                })
+            elif parts == ["jobs"]:
+                self._reply(200, {"jobs": service.jobs()})
+            elif len(parts) == 2 and parts[0] == "jobs":
+                self._reply(200, service.status(parts[1]))
+            elif len(parts) == 3 and parts[:1] == ["jobs"] and parts[2] == "result":
+                status = service.status(parts[1])
+                if status["state"] in ("pending", "running"):
+                    self._error(
+                        409, f"job {parts[1]} is {status['state']}; poll "
+                             f"GET /jobs/{parts[1]} until terminal"
+                    )
+                else:
+                    self._reply(200, service.result_doc(parts[1]))
+            else:
+                self._error(404, f"no route for GET {self.path}")
+        except UnknownJobError as exc:
+            self._error(404, str(exc.args[0] if exc.args else exc))
+
+    def do_POST(self) -> None:  # noqa: N802
+        if [p for p in self.path.split("?")[0].split("/") if p] != ["jobs"]:
+            self._error(404, f"no route for POST {self.path}")
+            return
+        try:
+            body = self._read_body()
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._error(400, f"bad request body: {exc}")
+            return
+        try:
+            if "scenario" in body:
+                overrides = body.get("overrides") or {}
+                if not isinstance(overrides, dict):
+                    raise ValueError("'overrides' must be an object")
+                spec = self.server.registry.resolve(
+                    str(body["scenario"]), **overrides
+                )
+            elif "spec" in body:
+                spec = RunSpec.from_dict(body["spec"])
+            else:
+                raise ValueError(
+                    "body must carry either 'spec' (a RunSpec document) "
+                    "or 'scenario' (+ optional 'overrides')"
+                )
+        except (KeyError, ValueError, TypeError) as exc:
+            self._error(400, str(exc.args[0] if exc.args else exc))
+            return
+        try:
+            job_id = self.server.service.submit(spec)
+        except RuntimeError as exc:  # service closed
+            self._error(503, str(exc))
+            return
+        self._reply(202, {"job_id": job_id, **self.server.service.status(job_id)})
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if len(parts) != 2 or parts[0] != "jobs":
+            self._error(404, f"no route for DELETE {self.path}")
+            return
+        try:
+            cancelled = self.server.service.cancel(parts[1])
+        except UnknownJobError as exc:
+            self._error(404, str(exc.args[0] if exc.args else exc))
+            return
+        self._reply(200 if cancelled else 409, {
+            "job_id": parts[1],
+            "cancelled": cancelled,
+            **self.server.service.status(parts[1]),
+        })
+
+
+def make_server(
+    service: BenchmarkService,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    registry: Optional[ScenarioRegistry] = None,
+) -> BenchmarkHTTPServer:
+    """Bind (but do not start) a server; ``port=0`` picks a free port.
+
+    The caller owns the loop: ``server.serve_forever()`` inline, or in a
+    thread for tests (see :func:`serve_in_thread`).
+    """
+    return BenchmarkHTTPServer((host, port), service, registry)
+
+
+def serve_in_thread(
+    service: BenchmarkService, **kwargs: object
+) -> Tuple[BenchmarkHTTPServer, threading.Thread]:
+    """Start a server on a daemon thread (test/embedding helper)."""
+    server = make_server(service, **kwargs)  # type: ignore[arg-type]
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-serve", daemon=True
+    )
+    thread.start()
+    return server, thread
+
+
+def run_server(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8734,
+    workers: int = 2,
+    cache_dir: Optional[Path] = None,
+    store_path: Optional[Path] = None,
+) -> int:
+    """``repro-pipeline serve`` body: serve until interrupted.
+
+    Prints the bound address (stdout, one line, parse-friendly) so
+    scripts using ``--port 0`` can discover the ephemeral port.
+    """
+    service = BenchmarkService(
+        workers=workers, cache_dir=cache_dir, store_path=store_path
+    )
+    server = make_server(service, host=host, port=port)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"serving on http://{bound_host}:{bound_port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.close(wait=False)
+    return 0

@@ -1,0 +1,156 @@
+"""Job records and the durable JSONL job store.
+
+A *job* is one submitted :class:`~repro.api.spec.RunSpec` moving
+through ``PENDING → RUNNING → {SUCCEEDED, FAILED, CANCELLED}``.  The
+in-memory truth lives in :class:`BenchmarkService`; this module owns the
+shapes plus the append-only JSONL store that makes job history durable —
+one line per lifecycle event, written under a lock, flushed immediately,
+so a crash loses at most the event being written and concurrent workers
+never interleave partial lines.
+
+The store is an audit log, not a database: the service never reads it
+back to make decisions.  ``repro.service.jobs.load_events`` exists for
+offline analysis and the test suite.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.api.runner import RunOutcome
+from repro.api.spec import RunSpec
+
+
+class JobState(str, enum.Enum):
+    """Lifecycle states of a submitted job."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        """Whether the job can no longer change state."""
+        return self in (JobState.SUCCEEDED, JobState.FAILED, JobState.CANCELLED)
+
+
+@dataclass
+class Job:
+    """One submitted spec and everything known about its execution.
+
+    Mutable service-internal state; callers see :meth:`view` snapshots.
+    """
+
+    job_id: str
+    spec: RunSpec
+    spec_hash: str
+    state: JobState = JobState.PENDING
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    error: Optional[str] = None
+    outcome: Optional[RunOutcome] = None
+    #: How many in-flight submissions were deduplicated onto this job
+    #: (each returned this job's id instead of queueing new work).
+    duplicate_submissions: int = 0
+
+    def view(self) -> Dict[str, object]:
+        """JSON-safe status snapshot (no result payload)."""
+        return {
+            "job_id": self.job_id,
+            "state": self.state.value,
+            "spec_hash": self.spec_hash,
+            "spec": self.spec.to_dict(),
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+            "duplicate_submissions": self.duplicate_submissions,
+        }
+
+    def result_doc(self) -> Dict[str, object]:
+        """JSON-safe result payload for a terminal job.
+
+        Carries the per-kernel records, the bit-exact rank digest
+        (:func:`repro.api.runner.rank_sha256`), and — when the spec
+        asked for it — the eigenvector validation verdicts, so a remote
+        client sees exactly what ``repro run --validate`` would.
+        """
+        from repro.core.results import _json_safe
+
+        doc = self.view()
+        if self.outcome is not None:
+            doc["records"] = [asdict(r) for r in self.outcome.records]
+            doc["rank_sha256"] = self.outcome.rank_digest
+            rank = self.outcome.rank
+            if rank is not None:
+                doc["rank_summary"] = {
+                    "size": int(rank.size),
+                    "sum": float(rank.sum()),
+                    "argmax": int(rank.argmax()) if rank.size else -1,
+                }
+            doc["wall_seconds"] = [
+                r.wall_seconds for r in self.outcome.results
+            ]
+            validations = [
+                _json_safe(r.validation)
+                for r in self.outcome.results
+                if r.validation is not None
+            ]
+            if validations:
+                doc["validation"] = validations
+        return doc
+
+
+class JobStore:
+    """Append-only JSONL event log, safe under concurrent workers.
+
+    Each line is one event: ``{"event": ..., "time": ..., **payload}``.
+    ``path=None`` disables persistence (events are dropped) so the
+    in-memory service works without a filesystem side effect.
+    """
+
+    def __init__(self, path: Optional[Path]) -> None:
+        self.path = Path(path) if path is not None else None
+        self._lock = threading.Lock()
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def append(self, event: str, payload: Dict[str, object]) -> None:
+        """Write one event line (no-op when the store is disabled)."""
+        if self.path is None:
+            return
+        doc = {"event": event, "time": time.time()}
+        doc.update(payload)
+        line = json.dumps(doc, sort_keys=True, default=str)
+        with self._lock:
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write(line + "\n")
+                fh.flush()
+
+
+def load_events(path: Path) -> List[Dict[str, object]]:
+    """Read a store file back (offline analysis / tests).
+
+    Tolerates a torn final line — the one crash artifact the
+    append-under-lock discipline permits.
+    """
+    events: List[Dict[str, object]] = []
+    text = Path(path).read_text(encoding="utf-8")
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue
+    return events

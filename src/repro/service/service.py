@@ -1,0 +1,299 @@
+"""The benchmark job service: many clients, one execution surface.
+
+:class:`BenchmarkService` is a long-lived object with submit / status /
+result / cancel semantics over declarative
+:class:`~repro.api.spec.RunSpec`s:
+
+* **Worker pool** — jobs run on a thread pool (the kernels are
+  numpy/file-I/O dominated and release the GIL; a spec that selects the
+  ``parallel`` strategy with ``parallel_executor="mp"`` gets true
+  process parallelism *inside* its job via the multiprocessing
+  communicator).
+* **Deduplication** — a spec is identified by its
+  :meth:`~repro.api.spec.RunSpec.spec_hash`; submitting a spec that is
+  already pending or running returns the existing job id instead of
+  queueing the work twice.  Completed specs re-run on resubmission —
+  with a shared ``cache_dir`` their Kernel 0/1/2 artifacts come back as
+  :class:`~repro.core.artifacts.ArtifactCache` hits, so the expensive
+  work still happens exactly once.
+* **Durability** — every lifecycle event (and, on success, the
+  per-kernel :class:`~repro.harness.records.MeasurementRecord`s plus
+  the bit-exact rank digest) is appended to a JSONL
+  :class:`~repro.service.jobs.JobStore`.
+
+The HTTP front end (:mod:`repro.service.httpd`) and the CLI are thin
+layers over this class.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import CancelledError, Future, ThreadPoolExecutor
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.api.runner import RunOutcome, execute_spec
+from repro.api.spec import RunSpec
+from repro.service.jobs import Job, JobState, JobStore
+
+#: Default worker-thread count.
+DEFAULT_WORKERS = 2
+
+
+class JobError(Exception):
+    """Base class for job-service failures."""
+
+
+class UnknownJobError(JobError, KeyError):
+    """No job with the given id."""
+
+
+class JobFailedError(JobError):
+    """The job's pipeline execution raised; carries the error text."""
+
+
+class JobCancelledError(JobError):
+    """The job was cancelled before it ran."""
+
+
+class BenchmarkService:
+    """Concurrent benchmark job execution over declarative specs.
+
+    Parameters
+    ----------
+    workers:
+        Worker-thread count (jobs executing concurrently).
+    cache_dir:
+        Shared :class:`~repro.core.artifacts.ArtifactCache` root handed
+        to every job whose spec's ``cache_policy`` allows it.  Safe to
+        share across workers: entries publish via atomic rename and
+        eviction respects per-entry reader locks.
+    store_path:
+        JSONL job-store file; ``None`` keeps the service memory-only.
+    dedup:
+        Deduplicate in-flight submissions by spec hash (default on).
+
+    Examples
+    --------
+    >>> from repro.api import RunSpec
+    >>> with BenchmarkService(workers=2) as service:
+    ...     job_id = service.submit(RunSpec(scale=6, backend="numpy"))
+    ...     outcome = service.result(job_id)
+    >>> len(outcome.records)
+    4
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = DEFAULT_WORKERS,
+        cache_dir: Optional[Path] = None,
+        store_path: Optional[Path] = None,
+        dedup: bool = True,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.dedup = dedup
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-job"
+        )
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+        self._futures: Dict[str, Future] = {}
+        self._inflight: Dict[str, str] = {}  # spec_hash -> primary job id
+        self._counter = 0
+        self._closed = False
+        self.store = JobStore(store_path)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self, *, wait: bool = True) -> None:
+        """Stop accepting jobs and shut the pool down.
+
+        ``wait=False`` also cancels still-queued jobs (marking them
+        CANCELLED) — otherwise the interpreter's atexit join would
+        drain every pending benchmark run before the process could
+        exit, which is not what Ctrl-C on ``repro serve`` means.
+        """
+        with self._lock:
+            self._closed = True
+        self._pool.shutdown(wait=wait, cancel_futures=not wait)
+        if not wait:
+            with self._lock:
+                for job in self._jobs.values():
+                    if job.state is JobState.PENDING and \
+                            self._futures[job.job_id].cancelled():
+                        job.state = JobState.CANCELLED
+                        job.finished_at = time.time()
+                        self._inflight.pop(job.spec_hash, None)
+
+    def __enter__(self) -> "BenchmarkService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, spec: Union[RunSpec, Dict[str, object]]) -> str:
+        """Queue a spec; returns its job id.
+
+        A dict is parsed through the strict
+        :meth:`~repro.api.spec.RunSpec.from_dict` (unknown fields
+        refused).  With dedup on, an identical spec already pending or
+        running returns the in-flight job's id.
+        """
+        if isinstance(spec, dict):
+            spec = RunSpec.from_dict(spec)
+        spec_hash = spec.spec_hash()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            if self.dedup:
+                primary_id = self._inflight.get(spec_hash)
+                if primary_id is not None:
+                    primary = self._jobs[primary_id]
+                    if not primary.state.terminal:
+                        primary.duplicate_submissions += 1
+                        self.store.append(
+                            "deduplicated",
+                            {"job_id": primary_id, "spec_hash": spec_hash},
+                        )
+                        return primary_id
+            self._counter += 1
+            job_id = f"job-{self._counter:05d}"
+            job = Job(job_id=job_id, spec=spec, spec_hash=spec_hash)
+            self._jobs[job_id] = job
+            self._inflight[spec_hash] = job_id
+            # Log "submitted" before the worker can pick the job up, so
+            # the durable event order is always submitted → running.
+            self.store.append(
+                "submitted",
+                {"job_id": job_id, "spec_hash": spec_hash,
+                 "spec": spec.to_dict()},
+            )
+            self._futures[job_id] = self._pool.submit(self._run_job, job_id)
+        return job_id
+
+    def _run_job(self, job_id: str) -> None:
+        """Worker body: one job, cradle to grave."""
+        job = self._jobs[job_id]
+        with self._lock:
+            if job.state is not JobState.PENDING:  # cancelled meanwhile
+                return
+            job.state = JobState.RUNNING
+            job.started_at = time.time()
+        self.store.append("running", {"job_id": job_id})
+        try:
+            outcome = execute_spec(job.spec, cache_dir=self.cache_dir)
+        except Exception as exc:
+            with self._lock:
+                job.state = JobState.FAILED
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.finished_at = time.time()
+                self._inflight.pop(job.spec_hash, None)
+            self.store.append(
+                "failed", {"job_id": job_id, "error": job.error}
+            )
+        else:
+            # A run whose eigenvector validation FAILed is a benchmark
+            # failure, mirroring `repro run --validate`'s exit 1; the
+            # outcome is kept so result_doc still shows the verdict.
+            failed = [
+                r.validation for r in outcome.results
+                if r.validation is not None and not r.validation["passed"]
+            ]
+            with self._lock:
+                job.outcome = outcome
+                job.finished_at = time.time()
+                self._inflight.pop(job.spec_hash, None)
+                if failed:
+                    job.state = JobState.FAILED
+                    job.error = (
+                        "validation failed "
+                        f"(l1={failed[0]['l1_distance']:.4f}, "
+                        f"cosine={failed[0]['cosine_similarity']:.6f})"
+                    )
+                else:
+                    job.state = JobState.SUCCEEDED
+            self.store.append(
+                "failed" if failed else "succeeded", job.result_doc()
+            )
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def _job(self, job_id: str) -> Job:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise UnknownJobError(
+                f"unknown job id {job_id!r}; known: {sorted(self._jobs)}"
+            ) from None
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        """JSON-safe status snapshot of one job."""
+        with self._lock:
+            return self._job(job_id).view()
+
+    def jobs(self) -> List[Dict[str, object]]:
+        """Status snapshots of every job, in submission order."""
+        with self._lock:
+            return [job.view() for job in self._jobs.values()]
+
+    def result(self, job_id: str, timeout: Optional[float] = None) -> RunOutcome:
+        """Block until the job finishes and return its outcome.
+
+        Raises
+        ------
+        JobFailedError / JobCancelledError:
+            Terminal non-success states.
+        concurrent.futures.TimeoutError:
+            ``timeout`` elapsed first.
+        """
+        with self._lock:
+            future = self._futures[self._job(job_id).job_id]
+        try:
+            future.result(timeout)
+        except CancelledError:
+            pass
+        job = self._job(job_id)
+        if job.state is JobState.FAILED:
+            raise JobFailedError(f"job {job_id} failed: {job.error}")
+        if job.outcome is None:
+            # CANCELLED — or still PENDING because close(wait=False)
+            # cancelled the future and is about to mark the job (the
+            # waiter can wake before close() takes the lock again).
+            raise JobCancelledError(f"job {job_id} was cancelled")
+        return job.outcome
+
+    def result_doc(self, job_id: str) -> Dict[str, object]:
+        """JSON-safe result payload (records + rank digest) of a job."""
+        with self._lock:
+            return self._job(job_id).result_doc()
+
+    # ------------------------------------------------------------------
+    # Cancellation
+    # ------------------------------------------------------------------
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job that has not started; returns whether it worked.
+
+        A running pipeline is never interrupted mid-kernel (the paper's
+        sequencing makes partial runs meaningless) — cancelling a
+        RUNNING or terminal job returns False.
+        """
+        with self._lock:
+            job = self._job(job_id)
+            if job.state is not JobState.PENDING:
+                return False
+            if not self._futures[job_id].cancel():
+                return False  # a worker grabbed it in between
+            job.state = JobState.CANCELLED
+            job.finished_at = time.time()
+            self._inflight.pop(job.spec_hash, None)
+        self.store.append("cancelled", {"job_id": job_id})
+        return True

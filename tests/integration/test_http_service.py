@@ -1,0 +1,129 @@
+"""HTTP front end: submit over the wire, poll, fetch, cancel."""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import RunSpec, execute_spec
+from repro.service import BenchmarkService, serve_in_thread
+
+
+@pytest.fixture()
+def served(tmp_path):
+    """A live server on an ephemeral port; yields its base URL."""
+    service = BenchmarkService(
+        workers=2,
+        cache_dir=tmp_path / "cache",
+        store_path=tmp_path / "jobs.jsonl",
+    )
+    server, _thread = serve_in_thread(service, port=0)
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+    service.close(wait=False)
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return response.status, json.loads(response.read().decode("utf-8"))
+
+
+def _post(url: str, doc):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(doc).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return response.status, json.loads(response.read().decode("utf-8"))
+
+
+def _poll_terminal(base: str, job_id: str, timeout: float = 120.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _, doc = _get(f"{base}/jobs/{job_id}")
+        if doc["state"] not in ("pending", "running"):
+            return doc
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} did not finish within {timeout}s")
+
+
+class TestHTTPService:
+    def test_healthz(self, served):
+        status, doc = _get(f"{served}/healthz")
+        assert status == 200
+        assert doc["status"] == "ok"
+
+    def test_scenarios_listing(self, served):
+        status, doc = _get(f"{served}/scenarios")
+        assert status == 200
+        names = [s["name"] for s in doc["scenarios"]]
+        assert "smoke" in names and "paper-s18" in names
+
+    def test_submit_spec_poll_and_fetch_result(self, served):
+        spec = RunSpec(scale=6, seed=5, backend="numpy")
+        status, doc = _post(f"{served}/jobs", {"spec": spec.to_dict()})
+        assert status == 202
+        job_id = doc["job_id"]
+        final = _poll_terminal(served, job_id)
+        assert final["state"] == "succeeded"
+        _, result = _get(f"{served}/jobs/{job_id}/result")
+        assert len(result["records"]) == 4
+        # Wire-level parity: the digest matches a direct in-process run.
+        assert result["rank_sha256"] == execute_spec(spec).rank_digest
+
+    def test_submit_scenario_with_overrides(self, served):
+        status, doc = _post(
+            f"{served}/jobs",
+            {"scenario": "smoke", "overrides": {"seed": 11}},
+        )
+        assert status == 202
+        assert doc["spec"]["seed"] == 11
+        final = _poll_terminal(served, doc["job_id"])
+        assert final["state"] == "succeeded"
+
+    def test_result_of_inflight_job_is_409(self, served):
+        _, doc = _post(f"{served}/jobs", {"spec": {"scale": 10}})
+        job_id = doc["job_id"]
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(
+                    f"{served}/jobs/{job_id}/result", timeout=30
+                )
+            assert excinfo.value.code == 409
+        finally:
+            _poll_terminal(served, job_id)
+
+    def test_bad_submissions_are_400(self, served):
+        for body in (
+            {"spec": {"scale": 6, "bogus": 1}},
+            {"scenario": "no-such-scenario"},
+            {"neither": True},
+        ):
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _post(f"{served}/jobs", body)
+            assert excinfo.value.code == 400
+
+    def test_unknown_job_is_404(self, served):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{served}/jobs/job-99999", timeout=30)
+        assert excinfo.value.code == 404
+
+    def test_unknown_route_is_404(self, served):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{served}/nope", timeout=30)
+        assert excinfo.value.code == 404
+
+    def test_jobs_listing(self, served):
+        _, doc = _post(f"{served}/jobs", {"scenario": "smoke"})
+        _poll_terminal(served, doc["job_id"])
+        status, listing = _get(f"{served}/jobs")
+        assert status == 200
+        assert any(j["job_id"] == doc["job_id"] for j in listing["jobs"])

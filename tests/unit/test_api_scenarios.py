@@ -1,0 +1,98 @@
+"""Scenario registry: resolution, overrides, built-in catalogue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.scenarios import (
+    BUILTIN_SCENARIOS,
+    PAPER_SCALES,
+    ScenarioRegistry,
+    default_registry,
+    get_scenario,
+    scenario_names,
+)
+from repro.api.spec import RunSpec
+
+
+class TestRegistry:
+    def test_register_and_resolve(self):
+        registry = ScenarioRegistry()
+        registry.register("tiny", "scale-5 numpy probe",
+                          scale=5, backend="numpy")
+        spec = registry.resolve("tiny")
+        assert spec == RunSpec(scale=5, backend="numpy")
+
+    def test_overrides_win(self):
+        registry = ScenarioRegistry()
+        registry.register("tiny", "d", scale=5, backend="numpy")
+        assert registry.resolve("tiny", seed=42, scale=6).seed == 42
+        assert registry.resolve("tiny", scale=6).scale == 6
+
+    def test_duplicate_name_rejected(self):
+        registry = ScenarioRegistry()
+        registry.register("tiny", "d", scale=5)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("tiny", "again", scale=6)
+
+    def test_unrunnable_scenario_rejected_at_registration(self):
+        registry = ScenarioRegistry()
+        with pytest.raises(ValueError):
+            registry.register("broken", "d", scale=5, execution="turbo")
+        assert "broken" not in registry
+
+    def test_unknown_name_lists_known(self):
+        registry = ScenarioRegistry()
+        registry.register("tiny", "d", scale=5)
+        with pytest.raises(KeyError, match="unknown scenario 'huge'.*tiny"):
+            registry.get("huge")
+
+    def test_iteration_and_describe_sorted(self):
+        registry = ScenarioRegistry()
+        registry.register("b", "second", scale=5)
+        registry.register("a", "first", scale=5)
+        assert registry.names() == ["a", "b"]
+        assert registry.describe() == [("a", "first"), ("b", "second")]
+        assert len(registry) == 2
+
+
+class TestBuiltins:
+    def test_smoke_resolves_small(self):
+        spec = get_scenario("smoke")
+        assert spec.scale == 6
+        assert spec.backend == "numpy"
+
+    @pytest.mark.parametrize("scale", PAPER_SCALES)
+    def test_paper_table2_scales(self, scale):
+        spec = get_scenario(f"paper-s{scale}")
+        assert spec.scale == scale
+        assert spec.edge_factor == 16
+
+    def test_cache_warm_repeats_with_shared_cache(self):
+        spec = get_scenario("cache-warm")
+        assert spec.repeats > 1
+        assert spec.cache_policy == "shared"
+
+    def test_async_overlap_uses_async_execution(self):
+        assert get_scenario("async-overlap").execution == "async"
+
+    def test_parallel_mp_selects_mp_communicator(self):
+        spec = get_scenario("parallel-mp")
+        assert spec.execution == "parallel"
+        assert spec.parallel_executor == "mp"
+
+    def test_per_backend_smoke_variants(self):
+        for backend in ("python", "numpy", "scipy", "dataframe",
+                        "graphblas"):
+            assert get_scenario(f"smoke-{backend}").backend == backend
+
+    def test_default_registry_is_a_fresh_copy(self):
+        registry = default_registry()
+        registry.register("mine", "local addition", scale=5)
+        assert "mine" not in BUILTIN_SCENARIOS
+        assert "mine" in registry
+
+    def test_scenario_names_sorted(self):
+        names = scenario_names()
+        assert names == sorted(names)
+        assert "smoke" in names and "paper-s18" in names

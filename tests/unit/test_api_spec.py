@@ -1,0 +1,188 @@
+"""RunSpec/SweepSpec: round-trips, strictness, versioning, bridging."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.spec import (
+    CACHE_POLICIES,
+    SPEC_VERSION,
+    VALIDATION_MODES,
+    RunSpec,
+    SweepSpec,
+)
+from repro.core.config import PipelineConfig
+
+
+class TestRunSpecRoundTrip:
+    def test_dict_round_trip_defaults(self):
+        spec = RunSpec(scale=8)
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip_every_field_nondefault(self):
+        spec = RunSpec(
+            scale=9, edge_factor=8, seed=3, num_files=2, backend="numpy",
+            generator="kronecker", damping=0.9, iterations=7,
+            vertex_base=1, file_format="npy", sort_algorithm="counting",
+            sort_by_end_vertex=True, external_sort=True,
+            formula="paper-body", execution="parallel", parallel_ranks=3,
+            parallel_executor="mp", streaming_batch_edges=1 << 10,
+            data_dir="/tmp/somewhere", repeats=2, cache_policy="off",
+            validation="full",
+        )
+        assert RunSpec.from_json(spec.to_json()) == spec
+
+    def test_to_dict_is_json_safe(self):
+        json.dumps(RunSpec(scale=8, data_dir="/tmp/x").to_dict())
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown RunSpec field.*bogus"):
+            RunSpec.from_dict({"scale": 6, "bogus": 1})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ValueError, match="must be an object"):
+            RunSpec.from_dict([1, 2])  # type: ignore[arg-type]
+
+
+class TestRunSpecVersioning:
+    def test_v1_document_migrates(self):
+        # v1 carried a boolean `validate` and no spec_version stamping
+        # of the three-state `validation`.
+        spec = RunSpec.from_dict(
+            {"scale": 6, "validate": True, "spec_version": 1}
+        )
+        assert spec.validation == "full"
+        assert spec.spec_version == SPEC_VERSION
+
+    def test_v1_without_version_stamp_migrates(self):
+        spec = RunSpec.from_dict({"scale": 6, "validate": False})
+        assert spec.validation == "contracts"
+
+    def test_future_version_refused(self):
+        with pytest.raises(ValueError, match="newer than this library"):
+            RunSpec.from_dict({"scale": 6, "spec_version": SPEC_VERSION + 1})
+
+    def test_garbage_version_refused(self):
+        with pytest.raises(ValueError, match="invalid spec_version"):
+            RunSpec.from_dict({"scale": 6, "spec_version": "two"})
+
+    def test_constructor_refuses_stale_version(self):
+        with pytest.raises(ValueError, match="migrated"):
+            RunSpec(scale=6, spec_version=1)
+
+
+class TestRunSpecValidation:
+    def test_pipeline_fields_validated_via_config(self):
+        with pytest.raises(ValueError):
+            RunSpec(scale=6, execution="turbo")
+        with pytest.raises(ValueError):
+            RunSpec(scale=6, parallel_executor="gpu")
+
+    @pytest.mark.parametrize("field,value", [
+        ("repeats", 0),
+        ("cache_policy", "maybe"),
+        ("validation", "sometimes"),
+    ])
+    def test_api_fields_validated(self, field, value):
+        with pytest.raises(ValueError):
+            RunSpec(scale=6, **{field: value})
+
+    def test_mode_tables_are_exposed(self):
+        assert "shared" in CACHE_POLICIES
+        assert {"off", "contracts", "full"} <= set(VALIDATION_MODES)
+
+
+class TestRunSpecHash:
+    def test_stable_and_sensitive(self):
+        a = RunSpec(scale=8, seed=1)
+        assert a.spec_hash() == RunSpec(scale=8, seed=1).spec_hash()
+        assert a.spec_hash() != RunSpec(scale=8, seed=2).spec_hash()
+
+    def test_hash_ignores_field_order(self):
+        doc = RunSpec(scale=8).to_dict()
+        shuffled = dict(reversed(list(doc.items())))
+        assert RunSpec.from_dict(shuffled).spec_hash() == RunSpec(scale=8).spec_hash()
+
+
+class TestConfigBridge:
+    def test_to_config_maps_validation_modes(self):
+        assert RunSpec(scale=6, validation="off").to_config().validate is False
+        assert RunSpec(scale=6, validation="full").to_config().validate is True
+        assert RunSpec(
+            scale=6, validation="validate-only"
+        ).to_config().validate is True
+
+    def test_verify_property(self):
+        assert RunSpec(scale=6, validation="contracts").verify
+        assert RunSpec(scale=6, validation="full").verify
+        assert not RunSpec(scale=6, validation="off").verify
+        assert not RunSpec(scale=6, validation="validate-only").verify
+
+    def test_cache_policy_gates_cache_dir(self, tmp_path):
+        shared = RunSpec(scale=6, cache_policy="shared")
+        off = RunSpec(scale=6, cache_policy="off")
+        assert shared.to_config(tmp_path).cache_dir == tmp_path
+        assert off.to_config(tmp_path).cache_dir is None
+        assert shared.to_config(None).cache_dir is None
+
+    def test_from_config_round_trip(self, tmp_path):
+        config = PipelineConfig(
+            scale=7, backend="numpy", validate=True,
+            cache_dir=tmp_path, parallel_executor="mp",
+        )
+        spec = RunSpec.from_config(config)
+        assert spec.validation == "full"
+        assert spec.cache_policy == "shared"
+        assert spec.to_config(tmp_path) == config
+
+    def test_data_dir_serialises_as_string(self, tmp_path):
+        spec = RunSpec(scale=6, data_dir=tmp_path)
+        assert isinstance(spec.data_dir, str)
+        assert spec.to_config().data_dir == tmp_path
+        assert spec.to_config().keep_files
+
+
+class TestSweepSpec:
+    def test_grid_order_backend_major(self):
+        sweep = SweepSpec(base=RunSpec(scale=1), scales=(6, 8),
+                          backends=("scipy", "numpy"))
+        cells = [(s.backend, s.scale) for s in sweep.run_specs()]
+        assert cells == [("scipy", 6), ("scipy", 8),
+                         ("numpy", 6), ("numpy", 8)]
+
+    def test_round_trip(self):
+        sweep = SweepSpec(base=RunSpec(scale=1, execution="streaming"),
+                          scales=(6,), backends=("scipy",), repeats=2)
+        assert SweepSpec.from_dict(sweep.to_dict()) == sweep
+        assert SweepSpec.from_dict(json.loads(sweep.to_json())) == sweep
+
+    def test_unknown_field_rejected(self):
+        doc = SweepSpec(base=RunSpec(scale=1), scales=(6,),
+                        backends=("scipy",)).to_dict()
+        doc["turbo"] = True
+        with pytest.raises(ValueError, match="unknown SweepSpec field"):
+            SweepSpec.from_dict(doc)
+
+    def test_base_unknown_field_rejected(self):
+        doc = SweepSpec(base=RunSpec(scale=1), scales=(6,),
+                        backends=("scipy",)).to_dict()
+        doc["base"]["bogus"] = 1
+        with pytest.raises(ValueError, match="unknown RunSpec field"):
+            SweepSpec.from_dict(doc)
+
+    def test_needs_axes(self):
+        with pytest.raises(ValueError, match="at least one scale"):
+            SweepSpec(base=RunSpec(scale=1), scales=(), backends=("scipy",))
+        with pytest.raises(ValueError, match="at least one backend"):
+            SweepSpec(base=RunSpec(scale=1), scales=(6,), backends=())
+
+    def test_base_repeats_must_be_one(self):
+        with pytest.raises(ValueError, match="base.repeats"):
+            SweepSpec(base=RunSpec(scale=1, repeats=2), scales=(6,),
+                      backends=("scipy",))
+
+    def test_missing_base_rejected(self):
+        with pytest.raises(ValueError, match="needs a 'base'"):
+            SweepSpec.from_dict({"scales": [6], "backends": ["scipy"]})

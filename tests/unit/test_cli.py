@@ -290,3 +290,140 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "worst error factor" in out
         assert "k3-pagerank" in out
+
+
+class TestScenarioAndSpecSurface:
+    def test_run_scenario(self, capsys):
+        assert main(["run", "--scenario", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "backend=numpy" in out
+        assert "k3-pagerank" in out
+
+    def test_run_scenario_with_explicit_override(self, capsys):
+        assert main(["run", "--scenario", "smoke", "--seed", "9",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["config"]["seed"] == 9
+        assert doc["config"]["backend"] == "numpy"  # scenario's choice
+
+    def test_run_unknown_scenario_is_usage_error(self, capsys):
+        assert main(["run", "--scenario", "warp-speed"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_info_lists_scenarios(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "scenarios:" in out and "paper-s18" in out
+
+    def test_run_parallel_executor_mp_flag(self, capsys):
+        assert main(["run", "--scale", "6", "--execution", "parallel",
+                     "--ranks", "2", "--parallel-executor", "mp",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        k2 = next(k for k in doc["kernels"] if k["kernel"] == "k2-filter")
+        assert k2["details"]["parallel_executor"] == "mp"
+
+    def test_run_repeats_flag(self, tmp_path, capsys):
+        assert main(["run", "--scale", "6", "--repeats", "2",
+                     "--cache-dir", str(tmp_path / "c"), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        # The reported result is the last repeat: warm from the cache.
+        by_kernel = {k["kernel"]: k for k in doc["kernels"]}
+        assert by_kernel["k0-generate"]["details"]["artifact_cache"] == "hit"
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "--port", "0"])
+        assert args.port == 0 and args.workers == 2
+
+
+class TestExitCodeDiscipline:
+    def test_json_goes_to_stdout_even_on_validation_failure(self, capsys):
+        # paper-body formula at tiny scale diverges from the principal
+        # eigenvector, so full validation fails — the JSON payload must
+        # still land on stdout with the diagnostic on stderr.
+        code = main(["run", "--scale", "6", "--seed", "1",
+                     "--iterations", "2", "--damping", "0.99",
+                     "--formula", "paper-body", "--validate", "--json"])
+        captured = capsys.readouterr()
+        doc = json.loads(captured.out)  # stdout is pure JSON
+        if doc["validation"]["passed"]:
+            pytest.skip("validation unexpectedly passed at this config")
+        assert code == 1
+        assert "validation failed" in captured.err
+
+    def test_validation_failure_without_json_exits_1(self, capsys):
+        code = main(["run", "--scale", "6", "--iterations", "2",
+                     "--damping", "0.99", "--formula", "paper-body",
+                     "--validate"])
+        captured = capsys.readouterr()
+        if "validation: FAIL" not in captured.out:
+            pytest.skip("validation unexpectedly passed at this config")
+        assert code == 1
+
+    def test_scenario_override_equal_to_parser_default_still_wins(self):
+        from repro.cli.commands import run_spec_from_args
+
+        # cache-warm sets repeats=3; an explicit `--repeats 1` must
+        # override even though 1 equals the parser default (presence on
+        # the command line is what counts, not value inequality).
+        argv = ["run", "--scenario", "cache-warm", "--repeats", "1"]
+        args = build_parser().parse_args(argv)
+        args._argv = argv
+        assert run_spec_from_args(args).repeats == 1
+        # Omitted flags keep the scenario's values.
+        argv = ["run", "--scenario", "cache-warm"]
+        args = build_parser().parse_args(argv)
+        args._argv = argv
+        spec = run_spec_from_args(args)
+        assert spec.repeats == 3 and spec.scale == 10
+
+    def test_scenario_cache_warm_without_cache_dir_warns(self, capsys):
+        assert main(["run", "--scenario", "cache-warm", "--scale", "6"]) == 0
+        err = capsys.readouterr().err
+        assert "no --cache-dir" in err
+
+    def test_scenario_no_verify_keeps_scenario_validation(self):
+        from repro.cli.commands import run_spec_from_args
+        from repro.cli.main import build_parser
+
+        # --no-verify drops only the contracts: a scenario with full
+        # validation degrades to validate-only, never silently to off.
+        args = build_parser().parse_args(
+            ["run", "--scenario", "validated", "--no-verify"]
+        )
+        assert run_spec_from_args(args).validation == "validate-only"
+        args = build_parser().parse_args(
+            ["run", "--scenario", "validated", "--no-validate"]
+        )
+        assert run_spec_from_args(args).validation == "contracts"
+
+    def test_cache_rm_distinguishes_busy_from_absent(self, tmp_path, capsys):
+        from repro.core.artifacts import ArtifactCache
+
+        cache_dir = tmp_path / "c"
+        assert main(["run", "--scale", "6", "--cache-dir",
+                     str(cache_dir)]) == 0
+        capsys.readouterr()
+        cache = ArtifactCache(cache_dir)
+        entry = next(e for e in cache.entries() if e.kind == "k0")
+        lock = cache.entry_lock("k0", entry.key)
+        lock.acquire(shared=True)
+        try:
+            assert main(["cache", "rm", entry.key, "--cache-dir",
+                         str(cache_dir), "--kind", "k0"]) == 1
+            assert "in use" in capsys.readouterr().err
+        finally:
+            lock.release()
+        assert main(["cache", "rm", entry.key, "--cache-dir",
+                     str(cache_dir), "--kind", "k0"]) == 0
+
+    def test_capability_mismatch_stays_usage_error(self, capsys):
+        assert main(["run", "--scale", "6", "--backend", "python",
+                     "--execution", "streaming"]) == 2
+
+    def test_sweep_progress_lines_go_to_stderr(self, capsys):
+        assert main(["sweep", "--scales", "6", "--backends", "numpy"]) == 0
+        captured = capsys.readouterr()
+        assert "... backend=numpy" in captured.err
+        assert "... backend=numpy" not in captured.out
+        assert "k3-pagerank" in captured.out  # the table is the payload

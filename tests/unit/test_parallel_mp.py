@@ -164,3 +164,37 @@ class TestMpPhaseClockSanity:
         # Once synchronised, startup skew must not leak into the next
         # phase: every rank's phase 2 is collective-only time.
         assert max(phase2) < 2.0
+
+
+class TestMpConfigKnob:
+    """`PipelineConfig.parallel_executor` routes the parallel strategy
+    through the real multiprocessing communicator."""
+
+    def test_config_validates_executor_name(self):
+        from repro.core.config import PipelineConfig
+
+        with pytest.raises(ValueError, match="parallel_executor"):
+            PipelineConfig(scale=6, parallel_executor="gpu")
+
+    def test_mp_execution_matches_sim_bit_for_bit(self):
+        from repro.core.config import PipelineConfig
+        from repro.core.pipeline import run_pipeline
+
+        base = dict(scale=6, seed=3, execution="parallel",
+                    parallel_ranks=2, iterations=3)
+        sim = run_pipeline(PipelineConfig(parallel_executor="sim", **base))
+        mp_run = run_pipeline(PipelineConfig(parallel_executor="mp", **base))
+        np.testing.assert_allclose(mp_run.rank, sim.rank,
+                                   rtol=1e-12, atol=1e-15)
+        k2 = [k for k in mp_run.kernels if k.kernel.value == "k2-filter"][0]
+        assert k2.details["parallel_executor"] == "mp"
+        # mp ranks keep their own traffic logs; no aggregated summary.
+        k3 = [k for k in mp_run.kernels if k.kernel.value == "k3-pagerank"][0]
+        assert k3.details["traffic"] == {}
+
+    def test_runspec_carries_the_knob(self):
+        from repro.api import RunSpec
+
+        spec = RunSpec(scale=6, execution="parallel",
+                       parallel_executor="mp")
+        assert spec.to_config().parallel_executor == "mp"

@@ -1,0 +1,59 @@
+"""CI smoke client for `repro-pipeline serve`.
+
+Submits a scenario over HTTP, polls the job to completion, and asserts
+the result payload is sane.  Usage::
+
+    python tools/http_smoke_client.py PORT [SCENARIO] [TIMEOUT_S]
+
+Exits nonzero (via assertion) if the job fails, is cancelled, or does
+not finish in time.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import urllib.request
+
+
+def main(argv: list) -> int:
+    port = int(argv[1])
+    scenario = argv[2] if len(argv) > 2 else "smoke"
+    timeout_s = float(argv[3]) if len(argv) > 3 else 300.0
+    base = f"http://127.0.0.1:{port}"
+
+    request = urllib.request.Request(
+        f"{base}/jobs",
+        data=json.dumps({"scenario": scenario}).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    job = json.loads(urllib.request.urlopen(request, timeout=30).read())
+    job_id = job["job_id"]
+    print(f"submitted {scenario!r} as {job_id}")
+
+    deadline = time.monotonic() + timeout_s
+    doc = job
+    while time.monotonic() < deadline:
+        doc = json.loads(
+            urllib.request.urlopen(f"{base}/jobs/{job_id}", timeout=30).read()
+        )
+        if doc["state"] not in ("pending", "running"):
+            break
+        time.sleep(0.2)
+    assert doc["state"] == "succeeded", doc
+
+    result = json.loads(
+        urllib.request.urlopen(
+            f"{base}/jobs/{job_id}/result", timeout=30
+        ).read()
+    )
+    assert len(result["records"]) == 4, result
+    assert result["rank_sha256"], result
+    print(f"job succeeded; rank digest {result['rank_sha256'][:16]}…")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
