@@ -7,7 +7,9 @@ Demonstrates the declarative API surface end to end:
    cache and one durable JSONL job store;
 3. watch deduplication collapse identical in-flight submissions;
 4. collect results and verify bit-exact parity with a direct run;
-5. read the job store back as an audit log.
+5. fan a whole SweepSpec grid across a *process* worker pool and read
+   back the assembled sweep table (digests identical to thread runs);
+6. read the job store back as an audit log.
 
 Run with:  PYTHONPATH=src python examples/benchmark_service.py
 """
@@ -17,7 +19,7 @@ from __future__ import annotations
 import tempfile
 from pathlib import Path
 
-from repro.api import RunSpec, execute_spec, get_scenario
+from repro.api import RunSpec, SweepSpec, execute_spec, get_scenario
 from repro.service import BenchmarkService, load_events
 
 
@@ -55,12 +57,35 @@ def main() -> None:
         assert served.rank_digest == direct.rank_digest
         print("parity with direct execution: bit-identical")
 
+    # A sweep job on a multi-process pool: the grid fans out across
+    # worker processes; the parent job's result is the sweep table.
+    sweep = SweepSpec(
+        base=RunSpec(scale=8, backend="scipy"),
+        scales=(8, 9), backends=("numpy", "scipy"),
+    )
+    with BenchmarkService(
+        workers=2, worker_kind="process",
+        cache_dir=workdir / "cache", store_path=store,
+    ) as service:
+        parent_id = service.submit_sweep(sweep)
+        table = service.result(parent_id, timeout=600)
+        print(f"\nsweep {parent_id} on process workers: {table['state']}")
+        for cell in table["cells"]:
+            print(
+                f"  {cell['backend']:8s} scale={cell['scale']}  "
+                f"{cell['state']:9s} rank sha256 {cell['rank_sha256'][:16]}…"
+            )
+        print(f"  {len(table['records'])} records in the sweep table")
+
     events = load_events(store)
     print(f"\njob store at {store} ({len(events)} events):")
     for event in events:
         line = f"  {event['event']:12s} {event.get('job_id', '')}"
         if event["event"] == "succeeded":
-            line += f"  rank={event['rank_sha256'][:12]}…"
+            if event.get("rank_sha256"):
+                line += f"  rank={event['rank_sha256'][:12]}…"
+            elif event.get("kind") == "sweep":
+                line += f"  sweep table ({len(event['records'])} records)"
         print(line)
 
 

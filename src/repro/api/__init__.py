@@ -40,6 +40,7 @@ from repro.api.runner import (
     execute_spec,
     execute_sweep,
     rank_sha256,
+    sweep_cells,
     sweep_plan,
 )
 
@@ -61,6 +62,7 @@ __all__ = [
     "get_scenario",
     "rank_sha256",
     "scenario_names",
+    "sweep_cells",
     "sweep_plan",
 ]
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass, field, fields as dataclass_fields
 from pathlib import Path
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -142,6 +142,50 @@ def sweep_plan(sweep: SweepSpec, cache_dir: Optional[Path] = None):
         cache_dir=base_config.cache_dir,
         config_overrides=overrides,
     )
+
+
+def sweep_cells(
+    sweep: SweepSpec,
+) -> List[Tuple[str, int, Optional[RunSpec]]]:
+    """Lower a sweep grid to per-cell RunSpecs, in harness order.
+
+    Returns ``(backend, scale, spec)`` triples, backend-major then
+    scale order — exactly the cells :func:`execute_sweep` would run.
+    Cells whose backend lacks the execution strategy's capability get
+    ``spec=None`` (the harness's skip-with-warning semantics, made
+    declarative so the service can record the skip in the sweep table).
+    The sweep-level ``repeats`` moves onto each cell spec, where
+    :func:`execute_spec`'s repeat loop applies the same best-per-kernel
+    discipline the harness does.
+
+    Raises
+    ------
+    ValueError
+        When no backend in the grid supports the execution strategy
+        (parity with :func:`repro.harness.sweep.run_sweep`).
+    """
+    from repro.backends.registry import get_backend
+    from repro.core.executor import get_executor
+
+    needed = get_executor(sweep.base.execution).required_capability
+    cells: List[Tuple[str, int, Optional[RunSpec]]] = []
+    supported = False
+    for backend in sweep.backends:
+        capable = needed in get_backend(backend).capabilities
+        for scale in sweep.scales:
+            if capable:
+                cells.append((backend, scale, sweep.base.with_overrides(
+                    backend=backend, scale=scale, repeats=sweep.repeats,
+                )))
+                supported = True
+            else:
+                cells.append((backend, scale, None))
+    if not supported:
+        raise ValueError(
+            f"no backend in {list(sweep.backends)} supports execution="
+            f"{sweep.base.execution!r}"
+        )
+    return cells
 
 
 def execute_sweep(

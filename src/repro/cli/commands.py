@@ -530,8 +530,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         workers=args.workers,
+        worker_kind=args.worker_kind,
         cache_dir=Path(args.cache_dir) if args.cache_dir else None,
         store_path=Path(args.store) if args.store else None,
+        compact=args.compact,
     )
 
 

@@ -17,6 +17,7 @@ from repro.core.config import (
     PARALLEL_EXECUTORS,
 )
 from repro.core.exceptions import ExecutorCapabilityError, PipelineError
+from repro.service.pool import WORKER_KINDS
 
 
 def _csv_ints(text: str) -> List[int]:
@@ -294,12 +295,27 @@ def build_parser() -> argparse.ArgumentParser:
                             "address is printed on stdout)")
     serve.add_argument("--workers", type=int, default=2,
                        help="concurrent benchmark jobs")
+    serve.add_argument("--worker-kind", default="thread",
+                       choices=list(WORKER_KINDS),
+                       help="where jobs execute: thread (in-process "
+                            "worker threads) or process (a pool of "
+                            "long-lived worker processes; specs ship "
+                            "as JSON, results return as the job "
+                            "store's record/rank-digest documents)")
     serve.add_argument("--cache-dir", default=None,
                        help="artifact cache shared by all jobs whose "
                             "spec allows it")
     serve.add_argument("--store", default=None,
                        help="durable JSONL job store (lifecycle events "
-                            "+ per-kernel records)")
+                            "+ per-kernel records); an existing store "
+                            "is replayed on startup — finished jobs "
+                            "restore verbatim, interrupted jobs "
+                            "re-queue")
+    serve.add_argument("--compact", action="store_true",
+                       help="compact the job store on startup and "
+                            "periodically while serving (drops "
+                            "superseded lifecycle events, keeps "
+                            "terminal results)")
     serve.set_defaults(func=commands.cmd_serve)
 
     info = sub.add_parser(

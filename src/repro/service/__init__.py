@@ -1,17 +1,29 @@
 """``repro.service`` — the long-lived benchmark job service.
 
 :class:`BenchmarkService` executes :class:`~repro.api.spec.RunSpec`
-jobs concurrently (submit / status / result / cancel), deduplicates
-in-flight duplicates by spec hash, shares one artifact cache across
-workers, and appends every lifecycle event to a durable JSONL
-:class:`~repro.service.jobs.JobStore`.  The stdlib HTTP front end
-(:mod:`repro.service.httpd`, ``repro-pipeline serve``) lets many remote
-clients drive one service.
+jobs concurrently (submit / status / result / cancel) on a thread or
+multi-process worker pool (``worker_kind=thread|process`` — specs ship
+to workers as JSON, results return as the job store's record/rank-
+digest documents), fans :class:`~repro.api.spec.SweepSpec` grids out
+as parent/child sweep jobs (``submit_sweep``), deduplicates in-flight
+duplicates by spec hash, shares one artifact cache across workers and
+processes, and appends every lifecycle event to a durable JSONL
+:class:`~repro.service.jobs.JobStore` that it replays on restart
+(finished jobs restore verbatim, interrupted ones re-queue).  The
+stdlib HTTP front end (:mod:`repro.service.httpd`, ``repro-pipeline
+serve``) lets many remote clients drive one service.
 """
 
 from __future__ import annotations
 
 from repro.service.jobs import Job, JobState, JobStore, load_events
+from repro.service.pool import (
+    WORKER_KINDS,
+    ProcessWorkerPool,
+    RemoteJobError,
+    ThreadWorkerPool,
+    WorkerCrashError,
+)
 from repro.service.service import (
     BenchmarkService,
     JobCancelledError,
@@ -35,7 +47,12 @@ __all__ = [
     "JobFailedError",
     "JobState",
     "JobStore",
+    "ProcessWorkerPool",
+    "RemoteJobError",
+    "ThreadWorkerPool",
     "UnknownJobError",
+    "WORKER_KINDS",
+    "WorkerCrashError",
     "load_events",
     "make_server",
     "run_server",

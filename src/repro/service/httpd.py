@@ -8,14 +8,24 @@ pool.
 
 Routes::
 
-    GET    /healthz              liveness + job counts
+    GET    /healthz              liveness + job counts + worker kind
     GET    /scenarios            registered scenario names/descriptions
     GET    /jobs                 all job status snapshots
     POST   /jobs                 submit: {"spec": {...}} or
                                  {"scenario": "name",
-                                  "overrides": {...}}   -> {"job_id": ...}
+                                  "overrides": {...}} or a sweep —
+                                 {"sweep": {SweepSpec doc}} or
+                                 {"scenario": "name", "overrides": {...},
+                                  "sweep": {"scales": [...],
+                                            "backends": [...],
+                                            "repeats": N}}
+                                 -> {"job_id": ...} (sweeps return the
+                                 parent job; its status lists per-cell
+                                 child jobs and its result is the
+                                 assembled sweep table)
     GET    /jobs/<id>            one job's status
-    GET    /jobs/<id>/result     terminal payload (records, rank digest);
+    GET    /jobs/<id>/result     terminal payload (records, rank digest;
+                                 for sweep parents the sweep table);
                                  409 while the job is still in flight
     DELETE /jobs/<id>            cancel (only a PENDING job can be)
 
@@ -35,8 +45,11 @@ from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 from repro.api.scenarios import BUILTIN_SCENARIOS, ScenarioRegistry
-from repro.api.spec import RunSpec
+from repro.api.spec import RunSpec, SweepSpec
 from repro.service.service import BenchmarkService, UnknownJobError
+
+#: Keys a ``{"scenario": ..., "sweep": {...}}`` grid object may carry.
+_SWEEP_GRID_KEYS = {"scales", "backends", "repeats"}
 
 logger = logging.getLogger("repro.service.http")
 
@@ -97,6 +110,7 @@ class BenchmarkRequestHandler(BaseHTTPRequestHandler):
                 jobs = service.jobs()
                 self._reply(200, {
                     "status": "ok",
+                    "worker_kind": service.worker_kind,
                     "jobs": len(jobs),
                     "in_flight": sum(
                         1 for j in jobs
@@ -137,30 +151,115 @@ class BenchmarkRequestHandler(BaseHTTPRequestHandler):
         except (ValueError, json.JSONDecodeError) as exc:
             self._error(400, f"bad request body: {exc}")
             return
+        spec = sweep = None
         try:
-            if "scenario" in body:
-                overrides = body.get("overrides") or {}
-                if not isinstance(overrides, dict):
-                    raise ValueError("'overrides' must be an object")
+            if "sweep" in body:
+                sweep = self._parse_sweep(body)
+            elif "scenario" in body:
                 spec = self.server.registry.resolve(
-                    str(body["scenario"]), **overrides
+                    str(body["scenario"]), **self._overrides(body)
                 )
             elif "spec" in body:
                 spec = RunSpec.from_dict(body["spec"])
             else:
                 raise ValueError(
-                    "body must carry either 'spec' (a RunSpec document) "
-                    "or 'scenario' (+ optional 'overrides')"
+                    "body must carry 'spec' (a RunSpec document), "
+                    "'scenario' (+ optional 'overrides'), or 'sweep' "
+                    "(a SweepSpec document, or a grid object next to "
+                    "'scenario')"
                 )
         except (KeyError, ValueError, TypeError) as exc:
             self._error(400, str(exc.args[0] if exc.args else exc))
             return
         try:
-            job_id = self.server.service.submit(spec)
+            if sweep is not None:
+                job_id = self.server.service.submit_sweep(sweep)
+            else:
+                job_id = self.server.service.submit(spec)
+        except ValueError as exc:  # e.g. no capable backend in the grid
+            self._error(400, str(exc.args[0] if exc.args else exc))
+            return
         except RuntimeError as exc:  # service closed
             self._error(503, str(exc))
             return
         self._reply(202, {"job_id": job_id, **self.server.service.status(job_id)})
+
+    def _overrides(self, body: Dict[str, object]) -> Dict[str, object]:
+        overrides = body.get("overrides") or {}
+        if not isinstance(overrides, dict):
+            raise ValueError("'overrides' must be an object")
+        return overrides
+
+    def _parse_sweep(self, body: Dict[str, object]) -> SweepSpec:
+        """Build the SweepSpec from a POST body's ``sweep`` member.
+
+        Two shapes: a full SweepSpec document (strict-parsed), or —
+        when ``scenario`` rides along — a grid object
+        (``scales``/``backends``/``repeats``) swept over the scenario's
+        spec as the base.
+        """
+        sweep_doc = body["sweep"]
+        if not isinstance(sweep_doc, dict):
+            raise ValueError("'sweep' must be an object")
+        if "scenario" not in body:
+            for stray in ("overrides", "spec"):
+                if stray in body:
+                    raise ValueError(
+                        f"'{stray}' does not combine with a full "
+                        f"SweepSpec document (it would be silently "
+                        f"ignored); put the fields in the sweep's "
+                        f"'base', or sweep a 'scenario' instead"
+                    )
+            return SweepSpec.from_dict(sweep_doc)
+        if "spec" in body:
+            raise ValueError(
+                "'spec' does not combine with 'scenario' + 'sweep' (it "
+                "would be silently ignored); sweep either a scenario "
+                "or a full SweepSpec document with the spec as 'base'"
+            )
+        unknown = sorted(set(sweep_doc) - _SWEEP_GRID_KEYS)
+        if unknown:
+            raise ValueError(
+                f"unknown sweep grid field(s) {unknown} (with 'scenario' "
+                f"the sweep object takes {sorted(_SWEEP_GRID_KEYS)})"
+            )
+        overrides = self._overrides(body)
+        if "repeats" in overrides:
+            raise ValueError(
+                "with a sweep grid, put 'repeats' inside 'sweep' — the "
+                "sweep owns the repeat axis; an override would be "
+                "silently discarded"
+            )
+        # Same rule for the grid axes themselves: every cell replaces
+        # them, so an override there could only mislead.  'backend' is
+        # legitimate when the grid omits 'backends' (it then becomes
+        # the single swept backend).
+        if "scale" in overrides:
+            raise ValueError(
+                "with a sweep grid, 'scale' is swept — put the values "
+                "in sweep['scales']; an override would be silently "
+                "discarded"
+            )
+        if "backend" in overrides and "backends" in sweep_doc:
+            raise ValueError(
+                "'backend' in overrides conflicts with "
+                "sweep['backends'] — the grid replaces it per cell"
+            )
+        resolved = self.server.registry.resolve(
+            str(body["scenario"]), **overrides
+        )
+        # The sweep owns the repeat axis; a scenario's own repeats
+        # (e.g. cache-warm's best-of-3) becomes the grid default so
+        # its measurement discipline is preserved, not silently reset.
+        base = resolved.with_overrides(repeats=1)
+        # Each omitted axis defaults to the scenario's own value, so a
+        # grid can sweep one axis and inherit the other.
+        return SweepSpec(
+            base=base,
+            scales=tuple(sweep_doc.get("scales", (base.scale,))),
+            backends=tuple(sweep_doc.get("backends", (base.backend,))),
+            repeats=int(sweep_doc.get("repeats", resolved.repeats)),
+        )
 
     def do_DELETE(self) -> None:  # noqa: N802
         parts = [p for p in self.path.split("?")[0].split("/") if p]
@@ -211,25 +310,59 @@ def run_server(
     host: str = "127.0.0.1",
     port: int = 8734,
     workers: int = 2,
+    worker_kind: str = "thread",
     cache_dir: Optional[Path] = None,
     store_path: Optional[Path] = None,
+    compact: bool = False,
 ) -> int:
     """``repro-pipeline serve`` body: serve until interrupted.
 
     Prints the bound address (stdout, one line, parse-friendly) so
     scripts using ``--port 0`` can discover the ephemeral port.
+
+    With a ``store_path``, startup replays the store (finished jobs
+    come back verbatim; interrupted ones re-queue) and ``compact=True``
+    compacts it first plus periodically while serving.  On ``^C`` the
+    shutdown path terminates ``worker_kind="process"`` children and
+    marks their jobs FAILED in the store — never left RUNNING for the
+    next replay to resurrect.
     """
     service = BenchmarkService(
-        workers=workers, cache_dir=cache_dir, store_path=store_path
+        workers=workers,
+        worker_kind=worker_kind,
+        cache_dir=cache_dir,
+        store_path=store_path,
+        compact_on_start=compact,
+        compact_every=1000 if compact else None,
     )
     server = make_server(service, host=host, port=port)
     bound_host, bound_port = server.server_address[:2]
     print(f"serving on http://{bound_host}:{bound_port}", flush=True)
+    # SIGTERM (what `kill`, systemd, and container runtimes send) must
+    # take the same graceful path as ^C — otherwise worker processes
+    # leak and RUNNING jobs are left in the store for the next replay
+    # to resurrect as zombies.  Signal handlers can only be installed
+    # from the main thread; an embedder running run_server elsewhere
+    # just keeps the process's existing SIGTERM disposition.
+    import signal
+    import threading as _threading
+
+    def _sigterm(_signum: int, _frame: object) -> None:
+        raise KeyboardInterrupt
+
+    previous = None
+    in_main_thread = (
+        _threading.current_thread() is _threading.main_thread()
+    )
+    if in_main_thread:
+        previous = signal.signal(signal.SIGTERM, _sigterm)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
+        if in_main_thread:
+            signal.signal(signal.SIGTERM, previous)
         server.server_close()
         service.close(wait=False)
     return 0

@@ -1,30 +1,38 @@
 """Job records and the durable JSONL job store.
 
-A *job* is one submitted :class:`~repro.api.spec.RunSpec` moving
-through ``PENDING → RUNNING → {SUCCEEDED, FAILED, CANCELLED}``.  The
-in-memory truth lives in :class:`BenchmarkService`; this module owns the
-shapes plus the append-only JSONL store that makes job history durable —
-one line per lifecycle event, written under a lock, flushed immediately,
-so a crash loses at most the event being written and concurrent workers
-never interleave partial lines.
+A *job* is one submitted workload moving through ``PENDING → RUNNING →
+{SUCCEEDED, FAILED, CANCELLED}``.  Two kinds exist: a ``"run"`` job is
+one :class:`~repro.api.spec.RunSpec`; a ``"sweep"`` job is a parent
+over a :class:`~repro.api.spec.SweepSpec` grid whose cells are child
+run jobs fanned across the worker pool.  The in-memory truth lives in
+:class:`BenchmarkService`; this module owns the shapes plus the
+append-only JSONL store that makes job history durable — one line per
+lifecycle event, written under a lock, flushed immediately, so a crash
+loses at most the event being written and concurrent workers never
+interleave partial lines.
 
-The store is an audit log, not a database: the service never reads it
-back to make decisions.  ``repro.service.jobs.load_events`` exists for
-offline analysis and the test suite.
+Unlike the original audit-log design, the store is now read back in
+one place: :meth:`BenchmarkService._replay_store` reconstructs service
+state from it on startup (terminal jobs come back verbatim from their
+terminal event documents; jobs that were in flight at a crash are
+re-queued).  :meth:`JobStore.compact` keeps the log from growing
+without bound by rewriting it with only the lifecycle events replay
+needs.
 """
 
 from __future__ import annotations
 
 import enum
 import json
+import os
 import threading
 import time
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.api.runner import RunOutcome
-from repro.api.spec import RunSpec
+from repro.api.spec import RunSpec, SweepSpec
 
 
 class JobState(str, enum.Enum):
@@ -42,71 +50,87 @@ class JobState(str, enum.Enum):
         return self in (JobState.SUCCEEDED, JobState.FAILED, JobState.CANCELLED)
 
 
+#: Event names that end a job's lifecycle in the store.
+TERMINAL_EVENTS = ("succeeded", "failed", "cancelled")
+
+#: The JSON-safe result-payload keys a terminal event may carry (the
+#: subset of a result document that is *result*, not status) — used to
+#: split a replayed terminal event back into view vs. payload.
+PAYLOAD_KEYS = (
+    "records", "rank_sha256", "rank_summary", "wall_seconds",
+    "validation", "cells",
+)
+
+
 @dataclass
 class Job:
-    """One submitted spec and everything known about its execution.
+    """One submitted workload and everything known about its execution.
 
     Mutable service-internal state; callers see :meth:`view` snapshots.
+
+    ``kind="run"`` jobs carry a ``spec``; ``kind="sweep"`` parents carry
+    a ``sweep`` plus ``cells`` (grid-ordered ``{"backend", "scale",
+    "job_id", "skipped"}`` references to child jobs).  ``result_payload``
+    is the JSON-safe result document — for process-pool jobs it is all
+    the service ever receives (the rank vector stays in the worker);
+    thread-pool jobs additionally keep the live ``outcome``.
     """
 
     job_id: str
-    spec: RunSpec
+    spec: Optional[RunSpec]
     spec_hash: str
+    kind: str = "run"
+    sweep: Optional[SweepSpec] = None
+    cells: List[Dict[str, object]] = field(default_factory=list)
     state: JobState = JobState.PENDING
     submitted_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
     error: Optional[str] = None
     outcome: Optional[RunOutcome] = None
+    result_payload: Optional[Dict[str, object]] = None
     #: How many in-flight submissions were deduplicated onto this job
     #: (each returned this job's id instead of queueing new work).
     duplicate_submissions: int = 0
+    #: Set exactly when the job reaches a terminal state; waiters
+    #: (:meth:`BenchmarkService.result`) block on it instead of on a
+    #: future, so sweep parents and replayed jobs wait the same way.
+    done: threading.Event = field(
+        default_factory=threading.Event, repr=False, compare=False
+    )
 
     def view(self) -> Dict[str, object]:
         """JSON-safe status snapshot (no result payload)."""
-        return {
+        doc: Dict[str, object] = {
             "job_id": self.job_id,
+            "kind": self.kind,
             "state": self.state.value,
             "spec_hash": self.spec_hash,
-            "spec": self.spec.to_dict(),
+            "spec": self.spec.to_dict() if self.spec is not None else None,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
             "error": self.error,
             "duplicate_submissions": self.duplicate_submissions,
         }
+        if self.kind == "sweep":
+            doc["sweep"] = self.sweep.to_dict() if self.sweep else None
+            doc["cells"] = [dict(cell) for cell in self.cells]
+        return doc
 
     def result_doc(self) -> Dict[str, object]:
         """JSON-safe result payload for a terminal job.
 
-        Carries the per-kernel records, the bit-exact rank digest
-        (:func:`repro.api.runner.rank_sha256`), and — when the spec
-        asked for it — the eigenvector validation verdicts, so a remote
-        client sees exactly what ``repro run --validate`` would.
+        For run jobs this carries the per-kernel records, the bit-exact
+        rank digest (:func:`repro.api.runner.rank_sha256`), and — when
+        the spec asked for it — the eigenvector validation verdicts, so
+        a remote client sees exactly what ``repro run --validate``
+        would.  For sweep parents it carries the assembled sweep table
+        (per-cell documents plus the flattened grid-ordered records).
         """
-        from repro.core.results import _json_safe
-
         doc = self.view()
-        if self.outcome is not None:
-            doc["records"] = [asdict(r) for r in self.outcome.records]
-            doc["rank_sha256"] = self.outcome.rank_digest
-            rank = self.outcome.rank
-            if rank is not None:
-                doc["rank_summary"] = {
-                    "size": int(rank.size),
-                    "sum": float(rank.sum()),
-                    "argmax": int(rank.argmax()) if rank.size else -1,
-                }
-            doc["wall_seconds"] = [
-                r.wall_seconds for r in self.outcome.results
-            ]
-            validations = [
-                _json_safe(r.validation)
-                for r in self.outcome.results
-                if r.validation is not None
-            ]
-            if validations:
-                doc["validation"] = validations
+        if self.result_payload is not None:
+            doc.update(self.result_payload)
         return doc
 
 
@@ -116,10 +140,27 @@ class JobStore:
     Each line is one event: ``{"event": ..., "time": ..., **payload}``.
     ``path=None`` disables persistence (events are dropped) so the
     in-memory service works without a filesystem side effect.
+
+    Parameters
+    ----------
+    path:
+        The JSONL file (created lazily; parent directories made).
+    compact_every:
+        When set, the store compacts itself after every ``N`` appended
+        events — the periodic half of log hygiene (``repro serve
+        --compact`` is the on-startup half).
     """
 
-    def __init__(self, path: Optional[Path]) -> None:
+    def __init__(
+        self, path: Optional[Path], *, compact_every: Optional[int] = None
+    ) -> None:
+        if compact_every is not None and compact_every < 1:
+            raise ValueError(
+                f"compact_every must be >= 1, got {compact_every}"
+            )
         self.path = Path(path) if path is not None else None
+        self.compact_every = compact_every
+        self._appended = 0
         self._lock = threading.Lock()
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -135,16 +176,89 @@ class JobStore:
             with open(self.path, "a", encoding="utf-8") as fh:
                 fh.write(line + "\n")
                 fh.flush()
+            self._appended += 1
+            # Auto-compact only on terminal-event appends: the service
+            # writes those *outside* its own lock, so the full-log
+            # rewrite never stalls submit/status/HTTP traffic that
+            # appends (submitted/deduplicated) while holding it.
+            if (
+                self.compact_every
+                and self._appended >= self.compact_every
+                and event in TERMINAL_EVENTS
+            ):
+                self._compact_locked()
+                self._appended = 0
+
+    def compact(self) -> int:
+        """Rewrite the log keeping only load-bearing lifecycle events.
+
+        For a job with a terminal event, everything between its
+        ``submitted`` (or ``sweep-submitted``) event and its *last*
+        terminal event is noise to replay: ``running``, ``requeued``,
+        ``deduplicated``, ``sweep-cells``, and superseded terminal
+        events are dropped.  Jobs still in flight keep their full event
+        trail.  Replaying a compacted store reconstructs exactly the
+        service state the original would (asserted by the replay test
+        suite).  Returns the number of events dropped.
+        """
+        if self.path is None or not self.path.exists():
+            return 0
+        with self._lock:
+            return self._compact_locked()
+
+    def _compact_locked(self) -> int:
+        events = load_events(self.path)
+        last_terminal: Dict[object, int] = {}
+        for index, event in enumerate(events):
+            if event.get("event") in TERMINAL_EVENTS:
+                last_terminal[event.get("job_id")] = index
+        # Jobs whose last terminal event is a worker-crash failure are
+        # retry candidates on replay; their 'requeued' trail carries
+        # the attempt count that caps the retries, so it must survive.
+        retryable = {
+            job_id for job_id, index in last_terminal.items()
+            if events[index].get("event") == "failed"
+            and str(events[index].get("error", "")).startswith(
+                "WorkerCrashError"
+            )
+        }
+        keep: List[Dict[str, object]] = []
+        for index, event in enumerate(events):
+            name = event.get("event")
+            job_id = event.get("job_id")
+            if name in ("submitted", "sweep-submitted"):
+                keep.append(event)
+            elif name in TERMINAL_EVENTS:
+                if last_terminal.get(job_id) == index:
+                    keep.append(event)
+            elif name == "deduplicated":
+                continue  # the count rides in the terminal/view doc
+            elif name == "requeued":
+                if job_id not in last_terminal or job_id in retryable:
+                    keep.append(event)
+            elif job_id not in last_terminal:
+                keep.append(event)  # in-flight job: keep its trail
+        staging = self.path.with_name(self.path.name + ".compact-tmp")
+        with open(staging, "w", encoding="utf-8") as fh:
+            for event in keep:
+                fh.write(json.dumps(event, sort_keys=True, default=str) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(staging, self.path)
+        return len(events) - len(keep)
 
 
 def load_events(path: Path) -> List[Dict[str, object]]:
-    """Read a store file back (offline analysis / tests).
+    """Read a store file back (replay, offline analysis, tests).
 
     Tolerates a torn final line — the one crash artifact the
     append-under-lock discipline permits.
     """
     events: List[Dict[str, object]] = []
-    text = Path(path).read_text(encoding="utf-8")
+    path = Path(path)
+    if not path.exists():
+        return events
+    text = path.read_text(encoding="utf-8")
     for line in text.splitlines():
         line = line.strip()
         if not line:

@@ -1,0 +1,291 @@
+"""Worker pools: where benchmark jobs actually execute.
+
+The :class:`~repro.service.service.BenchmarkService` schedules jobs on
+a small thread pool; each scheduler thread hands the job's spec
+*document* to a worker pool and blocks for the result *document*
+(see :mod:`repro.service.worker` for the document shapes).  Two pools
+implement that contract:
+
+* :class:`ThreadWorkerPool` — runs the job on the scheduler thread
+  itself (the historical behaviour; kernels are numpy/file-I/O bound
+  and release the GIL).  It additionally returns the live
+  :class:`~repro.api.runner.RunOutcome` so in-process callers keep
+  rank-vector access.
+* :class:`ProcessWorkerPool` — a fixed set of long-lived worker
+  *processes* (``forkserver`` start method where available, else
+  ``spawn`` — either is safe beside the service's HTTP threads; plain
+  ``fork`` never is), each driven over a pipe.  Workers are spawned lazily on
+  first use and reused across jobs; a worker that dies mid-job is
+  replaced and the job fails with :class:`WorkerCrashError`.
+  :meth:`ProcessWorkerPool.terminate` kills every child immediately —
+  the ``^C`` path, so in-flight jobs fail fast instead of outliving the
+  service as zombies.
+
+Specs cross the process boundary as JSON documents and results come
+back as the record/rank-digest documents the job store persists, so a
+process-pooled service is bit-identical (rank digests, records) to a
+thread-pooled one — asserted by ``tests/unit/test_worker_pool.py``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import threading
+from typing import Dict, Optional, Tuple
+
+from repro.api.runner import RunOutcome
+from repro.service.worker import run_spec_job_with_outcome, worker_main
+
+#: Accepted ``worker_kind`` values for the service/CLI.
+WORKER_KINDS = ("thread", "process")
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died (or was terminated) mid-job."""
+
+
+class RemoteJobError(RuntimeError):
+    """The job raised inside a worker process.
+
+    Carries the original exception's type name so the service can
+    format the failure exactly as a thread worker's would be
+    (``"{type}: {message}"``).
+    """
+
+    def __init__(self, error_type: str, message: str) -> None:
+        super().__init__(message)
+        self.error_type = error_type
+
+
+class ThreadWorkerPool:
+    """Run jobs on the calling (scheduler) thread."""
+
+    kind = "thread"
+
+    def __init__(self, workers: int) -> None:
+        del workers  # concurrency is the scheduler pool's; nothing to own
+
+    def run_spec(
+        self, spec_doc: Dict[str, object], cache_dir: Optional[str]
+    ) -> Tuple[Dict[str, object], Optional[RunOutcome]]:
+        """Execute in-process; payload plus the live outcome."""
+        return run_spec_job_with_outcome(spec_doc, cache_dir)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Nothing to stop — job threads belong to the scheduler."""
+
+    def terminate(self) -> None:
+        """Threads cannot be killed; in-flight jobs run to completion."""
+
+
+class _WorkerHandle:
+    """One long-lived worker process plus the parent end of its pipe."""
+
+    def __init__(self, ctx, index: int) -> None:
+        self.conn, child_conn = ctx.Pipe()
+        # NOT a daemon: a spec selecting parallel_executor="mp" spawns
+        # rank processes *inside* the worker, which multiprocessing
+        # forbids for daemonic processes — daemon=True would break the
+        # thread/process parity contract for those specs.  Orphan
+        # safety comes from the pipe instead: when the service process
+        # dies, the worker's recv() sees EOF and the loop exits.
+        self.process = ctx.Process(
+            target=worker_main,
+            args=(child_conn,),
+            name=f"repro-worker-{index}",
+            daemon=False,
+        )
+        self.process.start()
+        child_conn.close()  # the parent keeps only its own end
+
+    def run(
+        self, spec_doc: Dict[str, object], cache_dir: Optional[str]
+    ) -> Dict[str, object]:
+        try:
+            self.conn.send(("run", spec_doc, cache_dir))
+            reply = self.conn.recv()
+        except (EOFError, BrokenPipeError, OSError) as exc:
+            raise WorkerCrashError(
+                f"worker {self.process.name} (pid {self.process.pid}) died "
+                f"mid-job: {type(exc).__name__}"
+            ) from None
+        if reply[0] == "ok":
+            return reply[1]
+        _tag, error_type, message = reply
+        raise RemoteJobError(error_type, message)
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Polite shutdown; escalates to terminate if the worker hangs."""
+        try:
+            self.conn.send(("shutdown",))
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout=timeout)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=timeout)
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+    def kill(self) -> None:
+        if self.process.is_alive():
+            self.process.terminate()
+
+
+class ProcessWorkerPool:
+    """A fixed-size pool of reusable worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Worker-process count (one in-flight job per worker).
+    start_method:
+        ``multiprocessing`` start method.  Default: ``forkserver``
+        where available (POSIX), else ``spawn`` — never plain ``fork``:
+        the service runs HTTP and scheduler threads, and forking a
+        threaded process is undefined behaviour waiting to happen.
+        Both non-fork methods re-import the caller's ``__main__`` in
+        the worker, so embedding scripts need the standard
+        ``if __name__ == "__main__":`` guard (and stdin/REPL-driven
+        code cannot host a process pool — the CLI entry points are
+        guarded).  Workers are long-lived either way, so interpreter
+        start-up is paid once per worker, not per job.
+    """
+
+    kind = "process"
+
+    def __init__(
+        self, workers: int, *, start_method: Optional[str] = None
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if start_method is None:
+            available = multiprocessing.get_all_start_methods()
+            start_method = (
+                "forkserver" if "forkserver" in available else "spawn"
+            )
+        self._ctx = multiprocessing.get_context(start_method)
+        self._lock = threading.Lock()
+        self._handles: list = []
+        self._next_index = 0
+        self._terminated = False
+        # Tokens, not processes: a None token means "spawn lazily on
+        # first use", so a thread-kind-sized test suite never pays for
+        # interpreters it does not run jobs on.
+        self._idle: "queue.Queue[Optional[_WorkerHandle]]" = queue.Queue()
+        for _ in range(workers):
+            self._idle.put(None)
+
+    # ------------------------------------------------------------------
+    def _checkout(self) -> _WorkerHandle:
+        handle = self._idle.get()
+        with self._lock:
+            if self._terminated:
+                # Put the token back for symmetry and refuse the job.
+                self._idle.put(handle)
+                raise WorkerCrashError("worker pool is terminated")
+            if handle is not None and handle.process.is_alive():
+                return handle
+            if handle is not None:  # died unnoticed; forget the corpse
+                try:
+                    self._handles.remove(handle)
+                except ValueError:
+                    pass
+            index = self._next_index
+            self._next_index += 1
+        # Spawn outside the lock: interpreter start-up takes hundreds
+        # of milliseconds, and holding the lock would serialize
+        # first-use spawns and block terminate() for the duration.
+        try:
+            fresh = _WorkerHandle(self._ctx, index)
+        except Exception as exc:
+            # Spawning can fail when the multiprocessing machinery
+            # itself is dying (e.g. the forkserver caught the
+            # terminal's ^C).  That is a worker-infrastructure death,
+            # not a job failure — it must be retryable on the next
+            # start.
+            self._idle.put(None)
+            raise WorkerCrashError(
+                f"could not start a worker process: "
+                f"{type(exc).__name__}: {exc}"
+            ) from None
+        with self._lock:
+            if self._terminated:  # terminate() raced the spawn
+                fresh.kill()
+                self._idle.put(None)
+                raise WorkerCrashError("worker pool is terminated")
+            self._handles.append(fresh)
+        return fresh
+
+    def _checkin(self, handle: _WorkerHandle, *, dead: bool = False) -> None:
+        with self._lock:
+            if dead:
+                try:
+                    self._handles.remove(handle)
+                except ValueError:
+                    pass
+                handle.kill()
+                handle = None  # respawn lazily next checkout
+        self._idle.put(handle)
+
+    # ------------------------------------------------------------------
+    def run_spec(
+        self, spec_doc: Dict[str, object], cache_dir: Optional[str]
+    ) -> Tuple[Dict[str, object], Optional[RunOutcome]]:
+        """Ship one spec to a worker; payload only (the rank vector
+        stays in the worker — its digest rides in the payload)."""
+        handle = self._checkout()
+        try:
+            payload = handle.run(spec_doc, cache_dir)
+        except RemoteJobError:
+            self._checkin(handle)
+            raise
+        except BaseException:
+            # WorkerCrashError — or anything unexpected (a malformed
+            # reply, an unpickling failure): the worker's state is
+            # unknown, so discard it.  Either way the slot token MUST
+            # return to the idle queue, or the pool shrinks by one
+            # worker forever and eventually deadlocks checkout.
+            self._checkin(handle, dead=True)
+            raise
+        self._checkin(handle)
+        return payload, None
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop idle workers politely; ``wait=False`` escalates."""
+        with self._lock:
+            self._terminated = True
+            handles = list(self._handles)
+            self._handles.clear()
+        for handle in handles:
+            if wait:
+                handle.stop()
+            else:
+                handle.kill()
+
+    def terminate(self) -> None:
+        """Kill every worker process immediately (the ``^C`` path).
+
+        Scheduler threads blocked in :meth:`run_spec` wake with
+        :class:`WorkerCrashError` and the service marks their jobs
+        FAILED — never left RUNNING for a replay to resurrect.
+        """
+        with self._lock:
+            self._terminated = True
+            handles = list(self._handles)
+        for handle in handles:
+            handle.kill()
+
+
+def make_worker_pool(kind: str, workers: int):
+    """Build the pool for a ``worker_kind`` value (with a clear error)."""
+    if kind == "thread":
+        return ThreadWorkerPool(workers)
+    if kind == "process":
+        return ProcessWorkerPool(workers)
+    raise ValueError(
+        f"worker_kind must be one of {WORKER_KINDS}, got {kind!r}"
+    )

@@ -2,24 +2,39 @@
 
 :class:`BenchmarkService` is a long-lived object with submit / status /
 result / cancel semantics over declarative
-:class:`~repro.api.spec.RunSpec`s:
+:class:`~repro.api.spec.RunSpec`s and :class:`~repro.api.spec.SweepSpec`
+grids:
 
-* **Worker pool** — jobs run on a thread pool (the kernels are
-  numpy/file-I/O dominated and release the GIL; a spec that selects the
-  ``parallel`` strategy with ``parallel_executor="mp"`` gets true
-  process parallelism *inside* its job via the multiprocessing
-  communicator).
+* **Worker pool** — jobs are scheduled on a small thread pool whose
+  threads hand the work to a :mod:`~repro.service.pool` worker pool.
+  ``worker_kind="thread"`` runs jobs in-process (kernels are numpy/
+  file-I/O dominated and release the GIL); ``worker_kind="process"``
+  ships each spec as JSON to one of ``workers`` long-lived worker
+  *processes* and receives back the same record/rank-digest document
+  the job store persists — true multi-core fan-out with bit-identical
+  results (specs are environment-free; the shared artifact cache's
+  per-entry locks are ``flock``-based and therefore process-safe).
+* **Sweep jobs** — :meth:`submit_sweep` lowers a SweepSpec grid into
+  per-cell child RunSpec jobs fanned across the pool, tracks a parent
+  job aggregating cell statuses, and assembles the sweep table
+  (grid-ordered records plus per-cell digests) as the parent's result.
 * **Deduplication** — a spec is identified by its
   :meth:`~repro.api.spec.RunSpec.spec_hash`; submitting a spec that is
   already pending or running returns the existing job id instead of
-  queueing the work twice.  Completed specs re-run on resubmission —
+  queueing the work twice.  Duplicate sweep *cells* collapse the same
+  way, across the whole pool.  Completed specs re-run on resubmission —
   with a shared ``cache_dir`` their Kernel 0/1/2 artifacts come back as
   :class:`~repro.core.artifacts.ArtifactCache` hits, so the expensive
   work still happens exactly once.
-* **Durability** — every lifecycle event (and, on success, the
-  per-kernel :class:`~repro.harness.records.MeasurementRecord`s plus
-  the bit-exact rank digest) is appended to a JSONL
-  :class:`~repro.service.jobs.JobStore`.
+* **Durability + replay** — every lifecycle event (and, on success,
+  the per-kernel records plus the bit-exact rank digest) is appended to
+  a JSONL :class:`~repro.service.jobs.JobStore`.  On startup the
+  service *replays* the store: terminal jobs are restored verbatim from
+  their terminal event documents (no re-execution), and jobs that were
+  PENDING or RUNNING at a crash are re-queued exactly once.  A sweep
+  interrupted mid-grid resumes: finished cells come back from the log,
+  the rest re-run, and the parent completes.  ``compact_on_start`` /
+  ``JobStore(compact_every=...)`` keep the log bounded.
 
 The HTTP front end (:mod:`repro.service.httpd`) and the CLI are thin
 layers over this class.
@@ -29,15 +44,23 @@ from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import CancelledError, Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Set, Tuple, Union
 
-from repro.api.runner import RunOutcome, execute_spec
-from repro.api.spec import RunSpec
-from repro.service.jobs import Job, JobState, JobStore
+from repro.api.runner import RunOutcome, sweep_cells
+from repro.api.spec import RunSpec, SweepSpec
+from repro.service.jobs import (
+    PAYLOAD_KEYS,
+    Job,
+    JobState,
+    JobStore,
+    load_events,
+)
+from repro.service.pool import RemoteJobError, WorkerCrashError, make_worker_pool
 
-#: Default worker-thread count.
+#: Default worker count (scheduler threads == workers for both kinds).
 DEFAULT_WORKERS = 2
 
 
@@ -63,16 +86,32 @@ class BenchmarkService:
     Parameters
     ----------
     workers:
-        Worker-thread count (jobs executing concurrently).
+        Concurrent job count (scheduler threads; for
+        ``worker_kind="process"`` also the worker-process count).
+    worker_kind:
+        ``"thread"`` (in-process execution, default) or ``"process"``
+        (jobs fan out to long-lived worker processes; results come back
+        as JSON documents, the rank vector stays in the worker and only
+        its digest crosses the boundary).
     cache_dir:
         Shared :class:`~repro.core.artifacts.ArtifactCache` root handed
         to every job whose spec's ``cache_policy`` allows it.  Safe to
-        share across workers: entries publish via atomic rename and
-        eviction respects per-entry reader locks.
+        share across workers *and processes*: entries publish via
+        atomic rename and eviction respects per-entry flock reader
+        locks.
     store_path:
         JSONL job-store file; ``None`` keeps the service memory-only.
+        An existing store is replayed on startup (see ``replay``).
     dedup:
         Deduplicate in-flight submissions by spec hash (default on).
+    replay:
+        Replay an existing job store on startup: restore terminal jobs
+        from their logged result documents and re-queue jobs that were
+        in flight when the previous process died.  Default on.
+    compact_on_start:
+        Compact the store (before replaying it) on startup.
+    compact_every:
+        Auto-compact the store after every N appended events.
 
     Examples
     --------
@@ -88,47 +127,109 @@ class BenchmarkService:
         self,
         *,
         workers: int = DEFAULT_WORKERS,
+        worker_kind: str = "thread",
         cache_dir: Optional[Path] = None,
         store_path: Optional[Path] = None,
         dedup: bool = True,
+        replay: bool = True,
+        compact_on_start: bool = False,
+        compact_every: Optional[int] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.dedup = dedup
-        self._pool = ThreadPoolExecutor(
+        self.worker_kind = worker_kind
+        self._workers = make_worker_pool(worker_kind, workers)
+        self._scheduler = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-job"
         )
         self._lock = threading.Lock()
         self._jobs: Dict[str, Job] = {}
-        self._futures: Dict[str, Future] = {}
+        self._futures: Dict[str, object] = {}
         self._inflight: Dict[str, str] = {}  # spec_hash -> primary job id
+        #: child job id -> parent sweep-job ids still waiting on it.
+        self._cell_parents: Dict[str, Set[str]] = {}
+        #: parent sweep-job id -> child job ids not yet terminal.
+        self._parent_waiting: Dict[str, Set[str]] = {}
         self._counter = 0
         self._closed = False
-        self.store = JobStore(store_path)
+        #: True only during close(wait=False): child terminations it
+        #: induces must not durably finalize sweep parents (the store
+        #: keeps them open so a restart can resume the sweep).
+        self._terminating = False
+        self.store = JobStore(store_path, compact_every=compact_every)
+        if self.store.path is not None and compact_on_start:
+            self.store.compact()
+        if self.store.path is not None and replay:
+            self._replay_store()
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self, *, wait: bool = True) -> None:
-        """Stop accepting jobs and shut the pool down.
+        """Stop accepting jobs and shut the pools down.
 
-        ``wait=False`` also cancels still-queued jobs (marking them
-        CANCELLED) — otherwise the interpreter's atexit join would
-        drain every pending benchmark run before the process could
-        exit, which is not what Ctrl-C on ``repro serve`` means.
+        ``wait=False`` is the ``^C`` path: still-queued jobs are
+        cancelled (marked CANCELLED in memory but *not* in the store —
+        a queued job survives a service restart), and with
+        ``worker_kind="process"`` the worker processes are terminated
+        so in-flight jobs fail fast — their scheduler threads observe
+        the dead worker, mark the jobs FAILED, and append the
+        ``failed`` event, so a later replay never resurrects a zombie
+        RUNNING job (replay re-queues such worker-crash failures — the
+        job produced no wrong result, its worker was killed).  Sweep
+        parents are deliberately *not* finalized by shutdown-induced
+        child terminations: their store entry stays open so a restart
+        resumes the sweep.
         """
         with self._lock:
             self._closed = True
-        self._pool.shutdown(wait=wait, cancel_futures=not wait)
+            if not wait:
+                self._terminating = True
+        if not wait:
+            # Kill workers first so running jobs unblock immediately
+            # (a no-op for thread workers, which run to completion).
+            self._workers.terminate()
+        self._scheduler.shutdown(wait=wait, cancel_futures=not wait)
         if not wait:
             with self._lock:
+                cancelled = [
+                    job for job in self._jobs.values()
+                    if job.state is JobState.PENDING
+                    and job.job_id in self._futures
+                    and self._futures[job.job_id].cancelled()
+                ]
+                for job in cancelled:
+                    job.state = JobState.CANCELLED
+                    job.finished_at = time.time()
+                    self._inflight.pop(job.spec_hash, None)
+                    job.done.set()
+            for job in cancelled:
+                self._child_finished(job.job_id)
+            if self._workers.kind == "process":
+                # Give in-flight scheduler threads a moment to append
+                # their terminal (FAILED) events before the process
+                # exits.  Thread workers keep running past close() and
+                # finish on their own — never stall shutdown on them.
+                deadline = time.monotonic() + 10.0
+                for job in list(self._jobs.values()):
+                    if job.state is JobState.RUNNING and job.kind == "run":
+                        job.done.wait(
+                            timeout=max(0.0, deadline - time.monotonic())
+                        )
+            with self._lock:
                 for job in self._jobs.values():
-                    if job.state is JobState.PENDING and \
-                            self._futures[job.job_id].cancelled():
+                    if job.kind == "sweep" and not job.state.terminal:
+                        # The _terminating gate kept the parent's store
+                        # entry open (so a restart resumes the sweep),
+                        # but local waiters blocked in result() must
+                        # still wake: cancel the parent in memory only.
                         job.state = JobState.CANCELLED
                         job.finished_at = time.time()
                         self._inflight.pop(job.spec_hash, None)
+                        job.done.set()
+        self._workers.shutdown(wait=wait)
 
     def __enter__(self) -> "BenchmarkService":
         return self
@@ -153,19 +254,10 @@ class BenchmarkService:
         with self._lock:
             if self._closed:
                 raise RuntimeError("service is closed")
-            if self.dedup:
-                primary_id = self._inflight.get(spec_hash)
-                if primary_id is not None:
-                    primary = self._jobs[primary_id]
-                    if not primary.state.terminal:
-                        primary.duplicate_submissions += 1
-                        self.store.append(
-                            "deduplicated",
-                            {"job_id": primary_id, "spec_hash": spec_hash},
-                        )
-                        return primary_id
-            self._counter += 1
-            job_id = f"job-{self._counter:05d}"
+            primary_id = self._deduplicate_locked(spec_hash)
+            if primary_id is not None:
+                return primary_id
+            job_id = self._next_job_id_locked()
             job = Job(job_id=job_id, spec=spec, spec_hash=spec_hash)
             self._jobs[job_id] = job
             self._inflight[spec_hash] = job_id
@@ -176,53 +268,545 @@ class BenchmarkService:
                 {"job_id": job_id, "spec_hash": spec_hash,
                  "spec": spec.to_dict()},
             )
-            self._futures[job_id] = self._pool.submit(self._run_job, job_id)
+            self._futures[job_id] = self._scheduler.submit(
+                self._run_job, job_id
+            )
         return job_id
 
+    def submit_sweep(
+        self, sweep: Union[SweepSpec, Dict[str, object]]
+    ) -> str:
+        """Queue a whole sweep grid; returns the *parent* job id.
+
+        The grid is lowered into per-cell RunSpec child jobs (harness
+        order: backend-major, then scale) fanned across the worker
+        pool; capability-skipped cells are recorded as such.  Duplicate
+        cells — within the grid or against jobs already in flight —
+        deduplicate by spec hash onto one child.  The parent job is
+        RUNNING until every cell is terminal; its result document is
+        the assembled sweep table.  Poll it like any job; fetch
+        ``GET /jobs/<id>/result`` (or :meth:`result_doc`) when done.
+
+        Raises
+        ------
+        ValueError
+            When no backend in the grid supports the sweep's execution
+            strategy (parity with ``execute_sweep``).
+        """
+        if isinstance(sweep, dict):
+            sweep = SweepSpec.from_dict(sweep)
+        sweep_hash = sweep.spec_hash()
+        cells_plan = sweep_cells(sweep)  # may raise ValueError
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            primary_id = self._deduplicate_locked(sweep_hash)
+            if primary_id is not None:
+                return primary_id
+            parent_id = self._next_job_id_locked()
+            parent = Job(
+                job_id=parent_id, spec=None, spec_hash=sweep_hash,
+                kind="sweep", sweep=sweep, state=JobState.RUNNING,
+                started_at=time.time(),
+            )
+            self._jobs[parent_id] = parent
+            self._inflight[sweep_hash] = parent_id
+            # Logged before any cell is submitted so a crash during
+            # lowering still replays the parent (which then re-lowers).
+            self.store.append(
+                "sweep-submitted",
+                {"job_id": parent_id, "spec_hash": sweep_hash,
+                 "sweep": sweep.to_dict()},
+            )
+        self._attach_cells(parent, cells_plan)
+        return parent_id
+
+    def _deduplicate_locked(self, spec_hash: str) -> Optional[str]:
+        """In-flight dedup by workload hash (caller holds the lock)."""
+        if not self.dedup:
+            return None
+        primary_id = self._inflight.get(spec_hash)
+        if primary_id is None:
+            return None
+        primary = self._jobs[primary_id]
+        if primary.state.terminal:
+            return None
+        primary.duplicate_submissions += 1
+        self.store.append(
+            "deduplicated",
+            {"job_id": primary_id, "spec_hash": spec_hash},
+        )
+        return primary_id
+
+    def _next_job_id_locked(self) -> str:
+        self._counter += 1
+        return f"job-{self._counter:05d}"
+
+    def _attach_cells(
+        self,
+        parent: Job,
+        cells_plan: List[Tuple[str, int, Optional[RunSpec]]],
+    ) -> None:
+        """Submit a sweep's cells and wire up parent aggregation."""
+        cells: List[Dict[str, object]] = []
+        child_ids: List[str] = []
+        try:
+            for backend, scale, cell_spec in cells_plan:
+                if cell_spec is None:
+                    cells.append({
+                        "backend": backend, "scale": scale,
+                        "job_id": None, "skipped": True,
+                    })
+                    continue
+                child_id = self.submit(cell_spec)
+                cells.append({
+                    "backend": backend, "scale": scale,
+                    "job_id": child_id, "skipped": False,
+                })
+                if child_id not in child_ids:
+                    child_ids.append(child_id)
+        except RuntimeError:
+            # The service closed mid-fan-out.  Unwind the parent in
+            # memory (waiters must not block forever) but leave its
+            # store entry open — without a sweep-cells event the next
+            # start re-lowers the grid, deduplicating onto any cells
+            # that did get submitted.
+            with self._lock:
+                parent.state = JobState.CANCELLED
+                parent.finished_at = time.time()
+                self._inflight.pop(parent.spec_hash, None)
+            parent.done.set()
+            raise
+        with self._lock:
+            parent.cells = cells
+            pending = {
+                child_id for child_id in child_ids
+                if not self._jobs[child_id].state.terminal
+            }
+            for child_id in pending:
+                self._cell_parents.setdefault(child_id, set()).add(
+                    parent.job_id
+                )
+            self._parent_waiting[parent.job_id] = pending
+        self.store.append(
+            "sweep-cells", {"job_id": parent.job_id, "cells": cells}
+        )
+        if not pending:
+            self._maybe_finalize_parent(parent.job_id)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
     def _run_job(self, job_id: str) -> None:
-        """Worker body: one job, cradle to grave."""
+        """Scheduler-thread body: one job, cradle to grave."""
         job = self._jobs[job_id]
         with self._lock:
             if job.state is not JobState.PENDING:  # cancelled meanwhile
                 return
+            if self._terminating and self._workers.kind == "process":
+                # Dequeued in the race window between terminate() and
+                # cancel_futures: the workers are already dead, so
+                # running would only record a spurious failure.  Leave
+                # no durable trace (the job never ran) so the next
+                # start re-queues it; mark it cancelled in memory for
+                # any local waiters.  Thread workers instead run
+                # slipped-through jobs to completion (close never
+                # interrupts an in-process pipeline mid-kernel).
+                job.state = JobState.CANCELLED
+                job.finished_at = time.time()
+                self._inflight.pop(job.spec_hash, None)
+                job.done.set()
+                return
             job.state = JobState.RUNNING
             job.started_at = time.time()
-        self.store.append("running", {"job_id": job_id})
+        payload: Optional[Dict[str, object]] = None
+        outcome: Optional[RunOutcome] = None
+        error: Optional[str] = None
         try:
-            outcome = execute_spec(job.spec, cache_dir=self.cache_dir)
-        except Exception as exc:
-            with self._lock:
-                job.state = JobState.FAILED
-                job.error = f"{type(exc).__name__}: {exc}"
-                job.finished_at = time.time()
-                self._inflight.pop(job.spec_hash, None)
-            self.store.append(
-                "failed", {"job_id": job_id, "error": job.error}
+            # Guarded: a store I/O failure here must fail the job (and
+            # wake its waiters via the finally below), never strand it
+            # RUNNING with the spec hash pinned in the dedup map.
+            self.store.append("running", {"job_id": job_id})
+            payload, outcome = self._workers.run_spec(
+                job.spec.to_dict(),
+                str(self.cache_dir) if self.cache_dir is not None else None,
             )
-        else:
+        except RemoteJobError as exc:
+            # A worker-process job failure, formatted exactly as the
+            # in-process exception would have been.
+            error = f"{exc.error_type}: {exc}"
+        except WorkerCrashError as exc:
+            error = f"WorkerCrashError: {exc}"
+        except Exception as exc:
+            error = f"{type(exc).__name__}: {exc}"
+        if error is None:
             # A run whose eigenvector validation FAILed is a benchmark
             # failure, mirroring `repro run --validate`'s exit 1; the
-            # outcome is kept so result_doc still shows the verdict.
+            # payload is kept so result_doc still shows the verdict.
             failed = [
-                r.validation for r in outcome.results
-                if r.validation is not None and not r.validation["passed"]
+                verdict for verdict in (payload.get("validation") or [])
+                if not verdict.get("passed")
             ]
-            with self._lock:
-                job.outcome = outcome
-                job.finished_at = time.time()
-                self._inflight.pop(job.spec_hash, None)
-                if failed:
-                    job.state = JobState.FAILED
-                    job.error = (
-                        "validation failed "
-                        f"(l1={failed[0]['l1_distance']:.4f}, "
-                        f"cosine={failed[0]['cosine_similarity']:.6f})"
+            if failed:
+                error = (
+                    "validation failed "
+                    f"(l1={failed[0]['l1_distance']:.4f}, "
+                    f"cosine={failed[0]['cosine_similarity']:.6f})"
+                )
+        with self._lock:
+            job.finished_at = time.time()
+            job.result_payload = payload
+            job.outcome = outcome
+            if error is not None:
+                job.state = JobState.FAILED
+                job.error = error
+            else:
+                job.state = JobState.SUCCEEDED
+            self._inflight.pop(job.spec_hash, None)
+        try:
+            if payload is not None:
+                self.store.append(
+                    "failed" if error else "succeeded", job.result_doc()
+                )
+            else:
+                self.store.append(
+                    "failed", {"job_id": job_id, "error": error}
+                )
+        finally:
+            # A store failure (disk full, directory gone) must never
+            # strand waiters: the job *is* terminal in memory.
+            job.done.set()
+            self._child_finished(job_id)
+
+    # ------------------------------------------------------------------
+    # Sweep aggregation
+    # ------------------------------------------------------------------
+    def _child_finished(self, child_id: str) -> None:
+        """Settle a terminal child against every waiting sweep parent."""
+        with self._lock:
+            parent_ids = list(self._cell_parents.pop(child_id, ()))
+            ready: List[str] = []
+            for parent_id in parent_ids:
+                waiting = self._parent_waiting.get(parent_id)
+                if waiting is None:
+                    continue
+                waiting.discard(child_id)
+                if not waiting:
+                    ready.append(parent_id)
+        for parent_id in ready:
+            self._maybe_finalize_parent(parent_id)
+
+    def _maybe_finalize_parent(self, parent_id: str) -> None:
+        """Assemble the sweep table and close the parent job."""
+        with self._lock:
+            parent = self._jobs[parent_id]
+            if parent.state.terminal:
+                return
+            if self._terminating:
+                # Shutdown-induced child terminations must not close
+                # the parent durably: its store entry stays open so a
+                # restart replays and resumes the sweep.
+                return
+            cell_docs: List[Dict[str, object]] = []
+            records: List[Dict[str, object]] = []
+            failures: List[str] = []
+            for cell in parent.cells:
+                doc = dict(cell)
+                if cell.get("skipped"):
+                    doc["state"] = "skipped"
+                    cell_docs.append(doc)
+                    continue
+                child = self._jobs.get(cell["job_id"])
+                if child is None:
+                    # A replayed store can reference a child whose
+                    # events were unusable (e.g. unparseable spec from
+                    # a newer version); surface it, don't crash.
+                    doc["state"] = "failed"
+                    doc["error"] = "child job could not be restored"
+                    cell_docs.append(doc)
+                    failures.append(
+                        f"{cell['backend']}/s{cell['scale']} (lost)"
                     )
+                    continue
+                doc["state"] = child.state.value
+                if child.error:
+                    doc["error"] = child.error
+                child_payload = child.result_payload or {}
+                if "rank_sha256" in child_payload:
+                    doc["rank_sha256"] = child_payload["rank_sha256"]
+                cell_docs.append(doc)
+                # Records appear once, in the flattened grid-ordered
+                # table (duplicate cells repeat their shared child's
+                # rows there, preserving the execute_sweep shape); the
+                # per-cell docs carry state + digest only, so the
+                # parent's store line and HTTP payload stay lean.
+                if child.state is JobState.SUCCEEDED:
+                    records.extend(child_payload.get("records") or [])
                 else:
-                    job.state = JobState.SUCCEEDED
-            self.store.append(
-                "failed" if failed else "succeeded", job.result_doc()
+                    failures.append(
+                        f"{cell['backend']}/s{cell['scale']} "
+                        f"({child.state.value})"
+                    )
+            parent.result_payload = {"cells": cell_docs, "records": records}
+            parent.finished_at = time.time()
+            if failures:
+                parent.state = JobState.FAILED
+                parent.error = (
+                    f"{len(failures)} of {len(parent.cells)} sweep cells "
+                    f"did not succeed: {', '.join(failures)}"
+                )
+            else:
+                parent.state = JobState.SUCCEEDED
+            self._inflight.pop(parent.spec_hash, None)
+            self._parent_waiting.pop(parent_id, None)
+            event = "failed" if failures else "succeeded"
+            doc = parent.result_doc()
+        try:
+            self.store.append(event, doc)
+        finally:
+            parent.done.set()
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def _replay_store(self) -> None:
+        """Reconstruct service state from the JSONL store on startup.
+
+        Terminal jobs are restored verbatim from their terminal event
+        documents — no re-execution, the stored records/digests *are*
+        the result.  Jobs that were PENDING or RUNNING when the
+        previous process died are re-queued exactly once (a ``requeued``
+        event marks the hand-off).  Sweep parents re-arm aggregation
+        over their surviving cells; a parent that crashed mid-lowering
+        re-lowers its grid, deduplicating onto any requeued cells.
+        Tolerates a torn final line (the crash artifact).
+        """
+        events = load_events(self.store.path)
+        if not events:
+            return
+        infos: Dict[str, Dict[str, object]] = {}
+        for event in events:
+            name = event.get("event")
+            job_id = event.get("job_id")
+            if not isinstance(job_id, str):
+                continue
+            if name == "submitted":
+                infos[job_id] = {
+                    "kind": "run",
+                    "spec": event.get("spec"),
+                    "spec_hash": event.get("spec_hash"),
+                    "submitted_at": event.get("time"),
+                    "terminal": None,
+                }
+            elif name == "sweep-submitted":
+                infos[job_id] = {
+                    "kind": "sweep",
+                    "sweep": event.get("sweep"),
+                    "spec_hash": event.get("spec_hash"),
+                    "submitted_at": event.get("time"),
+                    "cells": None,
+                    "terminal": None,
+                }
+            elif name == "sweep-cells" and job_id in infos:
+                infos[job_id]["cells"] = event.get("cells")
+            elif name == "requeued" and job_id in infos:
+                infos[job_id]["requeues"] = (
+                    int(infos[job_id].get("requeues", 0)) + 1
+                )
+            elif name in ("succeeded", "failed", "cancelled") \
+                    and job_id in infos:
+                infos[job_id]["terminal"] = (name, event)
+
+        requeue: List[Job] = []
+        open_parents: List[Job] = []
+        relower: List[Job] = []
+        for job_id, info in infos.items():
+            terminal = info["terminal"]
+            if info["kind"] == "run":
+                spec_doc = info.get("spec")
+                try:
+                    spec = (
+                        RunSpec.from_dict(spec_doc)
+                        if isinstance(spec_doc, dict) else None
+                    )
+                except ValueError:
+                    spec = None
+                if spec is None and terminal is None:
+                    continue  # unusable: no spec to re-run, no result
+                if (
+                    spec is not None
+                    and terminal is not None
+                    and terminal[0] == "failed"
+                    and str(terminal[1].get("error", "")).startswith(
+                        "WorkerCrashError"
+                    )
+                    and int(info.get("requeues", 0)) < 2
+                ):
+                    # The *worker* died (shutdown terminate or a real
+                    # crash), the job produced no wrong result — retry
+                    # it instead of restoring the failure, so a ^C'd
+                    # sweep completes on the next start.  Capped at two
+                    # logged requeues: a job that keeps killing its
+                    # workers (e.g. OOM) must eventually converge to
+                    # FAILED instead of poisoning every restart.
+                    terminal = None
+                job = Job(
+                    job_id=job_id, spec=spec,
+                    spec_hash=str(info.get("spec_hash") or
+                                  (spec.spec_hash() if spec else "")),
+                )
+            else:
+                try:
+                    sweep = SweepSpec.from_dict(info["sweep"])
+                except (ValueError, TypeError):
+                    sweep = None
+                if sweep is None and terminal is None:
+                    continue  # unusable: nothing to re-lower, no result
+                job = Job(
+                    job_id=job_id, spec=None,
+                    spec_hash=str(info.get("spec_hash") or
+                                  (sweep.spec_hash() if sweep else "")),
+                    kind="sweep", sweep=sweep,
+                    state=JobState.RUNNING,
+                )
+            submitted_at = info.get("submitted_at")
+            if isinstance(submitted_at, (int, float)):
+                job.submitted_at = float(submitted_at)
+            if terminal is not None:
+                name, doc = terminal
+                job.state = JobState(name)
+                job.error = doc.get("error")
+                for attr in ("started_at", "finished_at"):
+                    value = doc.get(attr)
+                    if isinstance(value, (int, float)):
+                        setattr(job, attr, float(value))
+                if job.finished_at is None:
+                    value = doc.get("time")
+                    if isinstance(value, (int, float)):
+                        job.finished_at = float(value)
+                dupes = doc.get("duplicate_submissions")
+                if isinstance(dupes, int):
+                    job.duplicate_submissions = dupes
+                payload = {
+                    key: doc[key] for key in PAYLOAD_KEYS if key in doc
+                }
+                if job.kind == "sweep":
+                    # view() carries cell *references* only; the full
+                    # per-cell documents (digests) stay in the result
+                    # payload, matching live parents' shape.  Fall back
+                    # to the sweep-cells event for terminal docs that
+                    # carry no cell roster (e.g. an exception-path
+                    # failure).
+                    cells_doc = doc.get("cells")
+                    if not isinstance(cells_doc, list):
+                        cells_doc = info.get("cells")
+                    if isinstance(cells_doc, list):
+                        job.cells = [
+                            {key: cell.get(key)
+                             for key in ("backend", "scale", "job_id",
+                                         "skipped")}
+                            for cell in cells_doc
+                        ]
+                if payload:
+                    job.result_payload = payload
+                job.done.set()
+            elif job.kind == "run":
+                requeue.append(job)
+            else:
+                cells = info.get("cells")
+                if isinstance(cells, list):
+                    job.cells = [dict(c) for c in cells]
+                    open_parents.append(job)
+                else:
+                    relower.append(job)  # crashed mid-lowering
+            self._jobs[job_id] = job
+
+        # Resume the id counter over every id the log ever issued —
+        # including jobs replay had to drop — so no id is reissued to
+        # an unrelated workload (the store and sweep cell rosters key
+        # on job ids).
+        for job_id in infos:
+            tail = job_id.rsplit("-", 1)[-1]
+            if tail.isdigit():
+                self._counter = max(self._counter, int(tail))
+
+        # A parent that went FAILED only because workers were killed
+        # under it is reopened (a) when any of its cells is being
+        # retried — otherwise the retried cells would complete as
+        # orphans while the parent stayed durably failed — or (b) when
+        # every cell has in fact succeeded (a crash landed between the
+        # last cell's terminal event and the parent's fresh one, so the
+        # logged parent failure is stale).  Its eventual terminal event
+        # supersedes the old one on the next replay.
+        requeued_ids = {job.job_id for job in requeue}
+        for job in self._jobs.values():
+            if job.kind != "sweep" or job.state is not JobState.FAILED:
+                continue
+            cell_ids = {
+                cell.get("job_id") for cell in job.cells
+                if cell.get("job_id")
+            }
+            children = [self._jobs.get(cell_id) for cell_id in cell_ids]
+            reopen = bool(cell_ids & requeued_ids) or (
+                bool(children)
+                and all(
+                    child is not None
+                    and child.state is JobState.SUCCEEDED
+                    for child in children
+                )
             )
+            if reopen:
+                job.state = JobState.RUNNING
+                job.error = None
+                job.finished_at = None
+                job.result_payload = None
+                job.done.clear()
+                open_parents.append(job)
+
+        # Re-arm dedup and parent aggregation before any work starts.
+        for job in requeue:
+            self._inflight.setdefault(job.spec_hash, job.job_id)
+        for parent in open_parents:
+            self._inflight.setdefault(parent.spec_hash, parent.job_id)
+            pending: Set[str] = set()
+            for cell in parent.cells:
+                child_id = cell.get("job_id")
+                child = self._jobs.get(child_id) if child_id else None
+                if child is not None and not child.state.terminal:
+                    pending.add(child_id)
+                    self._cell_parents.setdefault(child_id, set()).add(
+                        parent.job_id
+                    )
+            self._parent_waiting[parent.job_id] = pending
+
+        for job in requeue:
+            self.store.append(
+                "requeued",
+                {"job_id": job.job_id, "spec_hash": job.spec_hash},
+            )
+            self._futures[job.job_id] = self._scheduler.submit(
+                self._run_job, job.job_id
+            )
+        for parent in relower:
+            self._inflight.setdefault(parent.spec_hash, parent.job_id)
+            try:
+                cells_plan = sweep_cells(parent.sweep)
+            except ValueError as exc:
+                with self._lock:
+                    parent.state = JobState.FAILED
+                    parent.error = str(exc)
+                    parent.finished_at = time.time()
+                    self._inflight.pop(parent.spec_hash, None)
+                self.store.append(
+                    "failed",
+                    {"job_id": parent.job_id, "error": parent.error},
+                )
+                parent.done.set()
+                continue
+            self._attach_cells(parent, cells_plan)
+        for parent in open_parents:
+            if not self._parent_waiting.get(parent.job_id):
+                self._maybe_finalize_parent(parent.job_id)
 
     # ------------------------------------------------------------------
     # Inspection
@@ -245,8 +829,14 @@ class BenchmarkService:
         with self._lock:
             return [job.view() for job in self._jobs.values()]
 
-    def result(self, job_id: str, timeout: Optional[float] = None) -> RunOutcome:
-        """Block until the job finishes and return its outcome.
+    def result(self, job_id: str, timeout: Optional[float] = None):
+        """Block until the job finishes and return its result.
+
+        Returns the live :class:`RunOutcome` when one exists (thread
+        workers); otherwise — process workers, sweep parents, jobs
+        restored by replay — the JSON-safe result document (the rank
+        vector never crossed into this process; its digest rides in
+        ``rank_sha256``).
 
         Raises
         ------
@@ -255,21 +845,19 @@ class BenchmarkService:
         concurrent.futures.TimeoutError:
             ``timeout`` elapsed first.
         """
-        with self._lock:
-            future = self._futures[self._job(job_id).job_id]
-        try:
-            future.result(timeout)
-        except CancelledError:
-            pass
         job = self._job(job_id)
+        if not job.done.wait(timeout):
+            raise FuturesTimeout(
+                f"job {job_id} still {job.state.value} after {timeout}s"
+            )
         if job.state is JobState.FAILED:
             raise JobFailedError(f"job {job_id} failed: {job.error}")
-        if job.outcome is None:
-            # CANCELLED — or still PENDING because close(wait=False)
-            # cancelled the future and is about to mark the job (the
-            # waiter can wake before close() takes the lock again).
+        if job.state is not JobState.SUCCEEDED:
             raise JobCancelledError(f"job {job_id} was cancelled")
-        return job.outcome
+        if job.outcome is not None:
+            return job.outcome
+        with self._lock:
+            return job.result_doc()
 
     def result_doc(self, job_id: str) -> Dict[str, object]:
         """JSON-safe result payload (records + rank digest) of a job."""
@@ -284,16 +872,22 @@ class BenchmarkService:
 
         A running pipeline is never interrupted mid-kernel (the paper's
         sequencing makes partial runs meaningless) — cancelling a
-        RUNNING or terminal job returns False.
+        RUNNING or terminal job returns False.  Sweep parents are
+        RUNNING from submission; cancel their PENDING cells instead.
         """
         with self._lock:
             job = self._job(job_id)
             if job.state is not JobState.PENDING:
                 return False
-            if not self._futures[job_id].cancel():
+            future = self._futures.get(job_id)
+            if future is None or not future.cancel():
                 return False  # a worker grabbed it in between
             job.state = JobState.CANCELLED
             job.finished_at = time.time()
             self._inflight.pop(job.spec_hash, None)
-        self.store.append("cancelled", {"job_id": job_id})
+        try:
+            self.store.append("cancelled", {"job_id": job_id})
+        finally:
+            job.done.set()
+            self._child_finished(job_id)
         return True

@@ -1,0 +1,135 @@
+"""Worker-side job execution: spec documents in, result documents out.
+
+The worker pool ships work to workers as JSON-safe :class:`RunSpec`
+documents (they are environment-free and hashable) and receives back
+the same records/rank-digest documents the JSONL job store persists —
+never live Python objects.  That one discipline is what makes thread
+and process workers interchangeable: :func:`run_spec_job` is the single
+execution body for both kinds, so a ``worker_kind="process"`` service
+produces byte-for-byte the result documents a thread-pooled one does.
+
+:func:`worker_main` is the process-worker entry point: a loop over a
+``multiprocessing`` pipe speaking ``("run", spec_doc, cache_dir)`` /
+``("shutdown",)`` requests and ``("ok", payload)`` /
+``("error", type_name, message)`` replies.  It is a module-level
+function so the pool can use the ``spawn`` start method (safe to mix
+with the service's HTTP threads, unlike ``fork``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Dict, Optional
+
+from repro.api.runner import RunOutcome, execute_spec
+from repro.api.spec import RunSpec
+
+
+def outcome_payload(outcome: RunOutcome) -> Dict[str, object]:
+    """JSON-safe result document for one executed spec.
+
+    Carries the per-kernel records, the bit-exact rank digest
+    (:func:`repro.api.runner.rank_sha256`), per-repeat wall times, and
+    — when the spec asked for it — the eigenvector validation verdicts.
+    This is exactly the payload the job store's ``succeeded`` event
+    persists, which is what lets replay restore a finished job without
+    re-running it.
+    """
+    from repro.core.results import _json_safe
+
+    doc: Dict[str, object] = {
+        "records": [asdict(r) for r in outcome.records],
+        "rank_sha256": outcome.rank_digest,
+    }
+    rank = outcome.rank
+    if rank is not None:
+        doc["rank_summary"] = {
+            "size": int(rank.size),
+            "sum": float(rank.sum()),
+            "argmax": int(rank.argmax()) if rank.size else -1,
+        }
+    doc["wall_seconds"] = [r.wall_seconds for r in outcome.results]
+    validations = [
+        _json_safe(r.validation)
+        for r in outcome.results
+        if r.validation is not None
+    ]
+    if validations:
+        doc["validation"] = validations
+    return doc
+
+
+def run_spec_job(
+    spec_doc: Dict[str, object], cache_dir: Optional[str]
+) -> Dict[str, object]:
+    """Execute one spec document and return its result document.
+
+    The shared worker body: thread workers call it in-process (and keep
+    the live :class:`RunOutcome` alongside), process workers call it in
+    the child and ship only the returned document back over the pipe.
+    """
+    payload, _outcome = run_spec_job_with_outcome(spec_doc, cache_dir)
+    return payload
+
+
+def run_spec_job_with_outcome(
+    spec_doc: Dict[str, object], cache_dir: Optional[str]
+):
+    """As :func:`run_spec_job`, also returning the live outcome."""
+    from pathlib import Path
+
+    spec = RunSpec.from_dict(spec_doc)
+    outcome = execute_spec(
+        spec, cache_dir=Path(cache_dir) if cache_dir else None
+    )
+    return outcome_payload(outcome), outcome
+
+
+def worker_main(conn) -> None:
+    """Process-worker loop: serve run requests until shutdown or EOF.
+
+    Exceptions never cross the pipe as pickles — only their type name
+    and message — so the parent cannot be poisoned by an unpicklable
+    error, and the service formats failures identically for thread and
+    process workers.
+
+    The worker ignores SIGINT: a terminal ``^C`` signals the whole
+    foreground process group, and the *service* owns the shutdown
+    protocol (terminate → EOF → ``WorkerCrashError``, which replay
+    treats as retryable).  A KeyboardInterrupt that slips through
+    anyway (or SystemExit) kills the worker rather than being
+    marshalled as a job failure — a job interrupted by shutdown must
+    never be durably FAILED as if its own code raised.
+    """
+    import signal
+
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break  # parent died or closed the pipe
+        if not message or message[0] == "shutdown":
+            break
+        _, spec_doc, cache_dir = message
+        try:
+            payload = run_spec_job(spec_doc, cache_dir)
+        except (KeyboardInterrupt, SystemExit):
+            raise  # die; the parent sees EOF and retries the job
+        except BaseException as exc:  # noqa: BLE001 - marshalled to parent
+            try:
+                conn.send(("error", type(exc).__name__, str(exc)))
+            except (BrokenPipeError, OSError):
+                break
+        else:
+            try:
+                conn.send(("ok", payload))
+            except (BrokenPipeError, OSError):
+                break
+    try:
+        conn.close()
+    except OSError:
+        pass

@@ -127,3 +127,102 @@ class TestHTTPService:
         status, listing = _get(f"{served}/jobs")
         assert status == 200
         assert any(j["job_id"] == doc["job_id"] for j in listing["jobs"])
+
+
+class TestHTTPSweeps:
+    def test_submit_sweepspec_document(self, served):
+        sweep = {
+            "base": RunSpec(scale=6, backend="numpy").to_dict(),
+            "scales": [6, 7],
+            "backends": ["numpy"],
+        }
+        status, doc = _post(f"{served}/jobs", {"sweep": sweep})
+        assert status == 202
+        assert doc["kind"] == "sweep"
+        assert [c["scale"] for c in doc["cells"]] == [6, 7]
+        final = _poll_terminal(served, doc["job_id"], timeout=240)
+        assert final["state"] == "succeeded"
+        _, result = _get(f"{served}/jobs/{doc['job_id']}/result")
+        assert len(result["records"]) == 8  # 2 cells x 4 kernels
+        assert all(c["rank_sha256"] for c in result["cells"])
+
+    def test_submit_scenario_with_sweep_grid(self, served):
+        status, doc = _post(
+            f"{served}/jobs",
+            {"scenario": "smoke",
+             "overrides": {"seed": 3},
+             "sweep": {"scales": [6], "backends": ["numpy", "scipy"]}},
+        )
+        assert status == 202
+        assert doc["sweep"]["base"]["seed"] == 3
+        final = _poll_terminal(served, doc["job_id"], timeout=240)
+        assert final["state"] == "succeeded"
+        # An omitted axis inherits the scenario's own value.
+        status, doc = _post(
+            f"{served}/jobs",
+            {"scenario": "smoke", "sweep": {"backends": ["scipy"]}},
+        )
+        assert status == 202
+        assert doc["sweep"]["scales"] == [6]
+        _poll_terminal(served, doc["job_id"], timeout=240)
+
+    def test_scenario_repeats_default_into_grid(self, served):
+        """A scenario's own repeats (cache-warm: best-of-3) becomes the
+        sweep's per-cell repeat count instead of being silently reset."""
+        status, doc = _post(
+            f"{served}/jobs",
+            {"scenario": "cache-warm",
+             "sweep": {"scales": [6], "backends": ["numpy"]}},
+        )
+        assert status == 202
+        assert doc["sweep"]["repeats"] == 3
+        assert doc["sweep"]["base"]["repeats"] == 1
+        final = _poll_terminal(served, doc["job_id"], timeout=240)
+        assert final["state"] == "succeeded"
+
+    def test_sweep_result_is_409_in_flight(self, served):
+        _, doc = _post(
+            f"{served}/jobs",
+            {"scenario": "smoke", "sweep": {"scales": [6, 7, 8]}},
+        )
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(
+                    f"{served}/jobs/{doc['job_id']}/result", timeout=30
+                )
+            assert excinfo.value.code == 409
+        finally:
+            _poll_terminal(served, doc["job_id"], timeout=240)
+
+    def test_bad_sweep_bodies_are_400(self, served):
+        for body in (
+            {"sweep": {"scales": [6]}},  # no base, no scenario
+            {"sweep": []},  # not an object
+            {"scenario": "smoke", "sweep": {"bogus": 1}},
+            {"scenario": "smoke", "sweep": {"scales": []}},
+            # repeats must ride in the sweep grid, not in overrides
+            {"scenario": "smoke", "overrides": {"repeats": 3},
+             "sweep": {"scales": [6]}},
+            # overrides/spec next to a full SweepSpec doc would be
+            # silently ignored — refused instead
+            {"sweep": {"base": RunSpec(scale=6).to_dict(),
+                       "scales": [6], "backends": ["numpy"]},
+             "overrides": {"seed": 9}},
+            {"scenario": "smoke", "sweep": {"scales": [6]},
+             "spec": RunSpec(scale=6).to_dict()},
+            # swept axes cannot come in as overrides either
+            {"scenario": "smoke", "overrides": {"scale": 12},
+             "sweep": {"scales": [6, 7]}},
+            {"scenario": "smoke", "overrides": {"backend": "scipy"},
+             "sweep": {"scales": [6], "backends": ["numpy"]}},
+            # no backend in the grid supports the strategy
+            {"sweep": {
+                "base": RunSpec(
+                    scale=6, execution="streaming"
+                ).to_dict(),
+                "scales": [6], "backends": ["python"],
+            }},
+        ):
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _post(f"{served}/jobs", body)
+            assert excinfo.value.code == 400, body

@@ -192,6 +192,29 @@ class TestLifecycle:
         with pytest.raises(RuntimeError, match="closed"):
             service.submit(RunSpec(scale=6))
 
+    def test_store_failure_fails_the_job_instead_of_stranding_it(self):
+        """A store that starts raising mid-job (disk full, directory
+        gone) must fail the job and wake waiters, never leave it
+        RUNNING forever with its spec hash pinned in the dedup map."""
+        spec = RunSpec(scale=6, seed=88, backend="numpy")
+        with BenchmarkService(workers=1) as service:
+            original_append = service.store.append
+
+            def broken_append(event, payload):
+                if event == "running":
+                    raise OSError("no space left on device")
+                original_append(event, payload)
+
+            service.store.append = broken_append
+            job_id = service.submit(spec)
+            with pytest.raises(JobFailedError, match="no space left"):
+                service.result(job_id, timeout=120)
+            service.store.append = original_append
+            # The dedup slot is released: the spec can run again.
+            retry = service.submit(spec)
+            assert retry != job_id
+            service.result(retry, timeout=120)
+
     def test_submit_accepts_raw_documents(self):
         with BenchmarkService(workers=1) as service:
             job_id = service.submit({"scale": 6, "backend": "numpy"})
@@ -203,6 +226,74 @@ class TestLifecycle:
         assert JobState.SUCCEEDED.terminal
         assert JobState.CANCELLED.terminal
         assert not JobState.RUNNING.terminal
+
+
+class TestProcessWorkers:
+    """worker_kind="process": same service surface, multi-core backing."""
+
+    def test_process_job_digest_matches_thread_job(self, tmp_path):
+        spec = RunSpec(scale=6, seed=3, backend="numpy")
+        with BenchmarkService(workers=2, worker_kind="process") as service:
+            doc = service.result(service.submit(spec), timeout=240)
+        # Process workers return the stored result document (the rank
+        # vector stays in the worker; its digest crosses the boundary).
+        assert isinstance(doc, dict)
+        assert doc["rank_sha256"] == execute_spec(spec).rank_digest
+        kernels = [r["kernel"] for r in doc["records"]]
+        assert kernels == ["k0-generate", "k1-sort", "k2-filter",
+                           "k3-pagerank"]
+
+    def test_process_failure_formats_like_thread_failure(self):
+        spec = RunSpec(scale=6, backend="graphblas", execution="parallel")
+        with BenchmarkService(workers=1, worker_kind="process") as service:
+            job_id = service.submit(spec)
+            with pytest.raises(JobFailedError, match="parallel"):
+                service.result(job_id, timeout=240)
+            error = service.status(job_id)["error"]
+        assert error.startswith("ExecutorCapabilityError:")
+
+    def test_process_validation_failure_carries_verdict(self):
+        spec = RunSpec(
+            scale=6, iterations=2, damping=0.99, formula="paper-body",
+            validation="full",
+        )
+        with BenchmarkService(workers=1, worker_kind="process") as service:
+            job_id = service.submit(spec)
+            with pytest.raises(JobFailedError, match="validation failed"):
+                service.result(job_id, timeout=240)
+            doc = service.result_doc(job_id)
+            assert doc["validation"][0]["passed"] is False
+            assert doc["rank_sha256"]
+
+    def test_process_worker_can_nest_mp_rank_processes(self):
+        """A spec selecting parallel_executor="mp" spawns rank
+        processes *inside* the worker — workers must not be daemonic,
+        or this valid spec fails only on process pools."""
+        spec = RunSpec(
+            scale=6, backend="numpy", execution="parallel",
+            parallel_ranks=2, parallel_executor="mp",
+        )
+        with BenchmarkService(workers=1, worker_kind="process") as service:
+            doc = service.result(service.submit(spec), timeout=240)
+        assert doc["rank_sha256"] == execute_spec(spec).rank_digest
+
+    def test_process_jobs_share_the_artifact_cache(self, tmp_path):
+        cache = tmp_path / "cache"
+        spec = RunSpec(scale=6, backend="scipy")
+        with BenchmarkService(
+            workers=1, worker_kind="process", cache_dir=cache
+        ) as service:
+            cold = service.result(service.submit(spec), timeout=240)
+            warm = service.result(service.submit(spec), timeout=240)
+        cold_by_kernel = {r["kernel"]: r for r in cold["records"]}
+        warm_by_kernel = {r["kernel"]: r for r in warm["records"]}
+        assert not cold_by_kernel["k0-generate"]["cached"]
+        assert warm_by_kernel["k0-generate"]["cached"]
+        assert warm["rank_sha256"] == cold["rank_sha256"]
+
+    def test_unknown_worker_kind(self):
+        with pytest.raises(ValueError, match="worker_kind"):
+            BenchmarkService(workers=1, worker_kind="fiber")
 
 
 class TestDurableStore:

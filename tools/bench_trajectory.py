@@ -1,0 +1,161 @@
+"""CI perf-trajectory gate: run a pinned smoke benchmark, record it,
+and fail on gross regressions.
+
+Runs a small fixed matrix of pipeline configurations through
+``repro run --json`` (the real CLI, so the measurement includes the
+whole submitted-workload path the paper cares about), writes a
+``BENCH_<context>.json`` document with per-kernel seconds and edges/s
+plus end-to-end wall time, and compares each case's wall time against
+a checked-in baseline: more than ``--max-regression`` times slower
+fails the gate.
+
+The baseline (``benchmarks/baselines/bench_trajectory.json``) is
+deliberately generous — CI runners are slow and noisy, and this gate
+exists to catch *order-of-magnitude* regressions on the hot paths
+(an accidentally quadratic kernel, a cache that stopped hitting), not
+to flag scheduler jitter.  Tighten it as the trajectory accumulates.
+
+Usage::
+
+    python tools/bench_trajectory.py --context ci \
+        [--output BENCH_ci.json] [--baseline path.json] \
+        [--max-regression 2.0] [--no-gate]
+
+Exits 0 when every case is within budget, 1 on a regression, 2 on a
+benchmark that failed to run at all.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The pinned matrix: name -> extra `repro run` arguments.  Scales 12
+#: and 14 are big enough to time and small enough for a CI smoke job;
+#: serial and async cover the two hot execution paths.
+CASES = {
+    "s12-serial-scipy": ["--scale", "12", "--backend", "scipy"],
+    "s12-async-scipy": ["--scale", "12", "--backend", "scipy",
+                        "--execution", "async"],
+    "s14-serial-scipy": ["--scale", "14", "--backend", "scipy"],
+    "s14-async-scipy": ["--scale", "14", "--backend", "scipy",
+                        "--execution", "async"],
+}
+
+
+def run_case(name: str, extra_args: list) -> dict:
+    """Run one pinned configuration and distil its measurement."""
+    command = [
+        sys.executable, "-m", "repro.cli.main", "run",
+        *extra_args, "--no-verify", "--json",
+    ]
+    started = time.monotonic()
+    proc = subprocess.run(
+        command, cwd=REPO_ROOT, capture_output=True, text=True,
+    )
+    elapsed = time.monotonic() - started
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"case {name!r} failed (exit {proc.returncode}):\n"
+            f"{proc.stderr.strip()}"
+        )
+    doc = json.loads(proc.stdout)
+    kernels = {
+        k["kernel"]: {
+            "seconds": k["seconds"],
+            "edges_per_second": k["edges_per_second"],
+        }
+        for k in doc["kernels"]
+    }
+    return {
+        "wall_seconds": doc.get("wall_seconds", doc["total_seconds"]),
+        "total_seconds": doc["total_seconds"],
+        "benchmark_seconds": doc["benchmark_seconds"],
+        "process_seconds": elapsed,  # incl. interpreter + imports
+        "kernels": kernels,
+    }
+
+
+def main(argv: list) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--context", default="local",
+                        help="label baked into the output filename and "
+                             "document (e.g. 'ci', a git sha)")
+    parser.add_argument("--output", default=None,
+                        help="output path (default BENCH_<context>.json)")
+    parser.add_argument(
+        "--baseline",
+        default=str(REPO_ROOT / "benchmarks" / "baselines"
+                    / "bench_trajectory.json"),
+        help="checked-in baseline to gate against")
+    parser.add_argument("--max-regression", type=float, default=2.0,
+                        help="fail when a case's wall time exceeds "
+                             "baseline * this factor")
+    parser.add_argument("--no-gate", action="store_true",
+                        help="record only; never fail on regressions")
+    args = parser.parse_args(argv[1:])
+
+    results = {}
+    for name, extra in CASES.items():
+        print(f"running {name} ...", flush=True)
+        try:
+            results[name] = run_case(name, extra)
+        except (RuntimeError, json.JSONDecodeError, KeyError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"  wall {results[name]['wall_seconds']:.3f}s", flush=True)
+
+    document = {
+        "schema": 1,
+        "context": args.context,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cases": results,
+    }
+    output = Path(args.output or f"BENCH_{args.context}.json")
+    output.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"trajectory written to {output}")
+
+    baseline_path = Path(args.baseline)
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; gate skipped")
+        return 0
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    failures = []
+    for name, measured in results.items():
+        reference = baseline.get("cases", {}).get(name)
+        if reference is None:
+            print(f"  {name}: no baseline entry (new case?)")
+            continue
+        budget = reference["wall_seconds"] * args.max_regression
+        verdict = "ok" if measured["wall_seconds"] <= budget else "REGRESSED"
+        print(
+            f"  {name}: wall {measured['wall_seconds']:.3f}s vs baseline "
+            f"{reference['wall_seconds']:.3f}s "
+            f"(budget {budget:.3f}s) {verdict}"
+        )
+        if verdict != "ok":
+            failures.append(name)
+    if failures and not args.no_gate:
+        print(
+            f"error: wall-time regression >"
+            f"{args.max_regression:g}x in: {', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

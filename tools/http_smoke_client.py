@@ -1,9 +1,17 @@
 """CI smoke client for `repro-pipeline serve`.
 
-Submits a scenario over HTTP, polls the job to completion, and asserts
+Submits a workload over HTTP, polls the job to completion, and asserts
 the result payload is sane.  Usage::
 
     python tools/http_smoke_client.py PORT [SCENARIO] [TIMEOUT_S]
+
+``SCENARIO`` is a scenario name (default ``smoke``), posted as
+``{"scenario": ...}``.  The special name ``sweep`` instead posts a
+small sweep grid over the smoke scenario —
+``{"scenario": "smoke", "sweep": {"scales": [6, 7],
+"backends": ["numpy", "scipy"]}}`` — and polls the *parent* job,
+asserting every cell succeeded and the assembled sweep table carries
+one record row per (cell, kernel) plus a rank digest per cell.
 
 Exits nonzero (via assertion) if the job fails, is cancelled, or does
 not finish in time.
@@ -16,6 +24,32 @@ import sys
 import time
 import urllib.request
 
+#: The grid the ``sweep`` mode submits (2 backends x 2 scales).
+SWEEP_GRID = {"scales": [6, 7], "backends": ["numpy", "scipy"]}
+
+
+def _post_job(base: str, body: dict) -> dict:
+    request = urllib.request.Request(
+        f"{base}/jobs",
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    return json.loads(urllib.request.urlopen(request, timeout=30).read())
+
+
+def _poll_terminal(base: str, job_id: str, timeout_s: float) -> dict:
+    deadline = time.monotonic() + timeout_s
+    doc = {}
+    while time.monotonic() < deadline:
+        doc = json.loads(
+            urllib.request.urlopen(f"{base}/jobs/{job_id}", timeout=30).read()
+        )
+        if doc["state"] not in ("pending", "running"):
+            return doc
+        time.sleep(0.2)
+    raise AssertionError(f"job {job_id} did not finish in {timeout_s}s: {doc}")
+
 
 def main(argv: list) -> int:
     port = int(argv[1])
@@ -23,25 +57,15 @@ def main(argv: list) -> int:
     timeout_s = float(argv[3]) if len(argv) > 3 else 300.0
     base = f"http://127.0.0.1:{port}"
 
-    request = urllib.request.Request(
-        f"{base}/jobs",
-        data=json.dumps({"scenario": scenario}).encode("utf-8"),
-        headers={"Content-Type": "application/json"},
-        method="POST",
-    )
-    job = json.loads(urllib.request.urlopen(request, timeout=30).read())
+    if scenario == "sweep":
+        body = {"scenario": "smoke", "sweep": SWEEP_GRID}
+    else:
+        body = {"scenario": scenario}
+    job = _post_job(base, body)
     job_id = job["job_id"]
-    print(f"submitted {scenario!r} as {job_id}")
+    print(f"submitted {body} as {job_id} (kind={job.get('kind', 'run')})")
 
-    deadline = time.monotonic() + timeout_s
-    doc = job
-    while time.monotonic() < deadline:
-        doc = json.loads(
-            urllib.request.urlopen(f"{base}/jobs/{job_id}", timeout=30).read()
-        )
-        if doc["state"] not in ("pending", "running"):
-            break
-        time.sleep(0.2)
+    doc = _poll_terminal(base, job_id, timeout_s)
     assert doc["state"] == "succeeded", doc
 
     result = json.loads(
@@ -49,9 +73,20 @@ def main(argv: list) -> int:
             f"{base}/jobs/{job_id}/result", timeout=30
         ).read()
     )
-    assert len(result["records"]) == 4, result
-    assert result["rank_sha256"], result
-    print(f"job succeeded; rank digest {result['rank_sha256'][:16]}…")
+    if scenario == "sweep":
+        cells = result["cells"]
+        expected = len(SWEEP_GRID["scales"]) * len(SWEEP_GRID["backends"])
+        assert len(cells) == expected, result
+        assert all(c["state"] == "succeeded" for c in cells), cells
+        assert all(c["rank_sha256"] for c in cells), cells
+        assert len(result["records"]) == expected * 4, result
+        digests = {(c["backend"], c["scale"]): c["rank_sha256"][:16]
+                   for c in cells}
+        print(f"sweep succeeded; per-cell digests {digests}")
+    else:
+        assert len(result["records"]) == 4, result
+        assert result["rank_sha256"], result
+        print(f"job succeeded; rank digest {result['rank_sha256'][:16]}…")
     return 0
 
 
