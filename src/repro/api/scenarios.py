@@ -152,6 +152,14 @@ def default_registry() -> ScenarioRegistry:
         scale=12, backend="scipy", execution="async",
     )
     registry.register(
+        "async-overlap-proc",
+        "async executor with process codec lanes at scale 12 over 4 "
+        "shards: TSV encode/decode offloaded to lane worker processes; "
+        "K3 details add lane_busy_seconds per lane",
+        scale=12, backend="scipy", execution="async",
+        async_lanes="process", num_files=4,
+    )
+    registry.register(
         "streaming-bounded",
         "out-of-core Kernel 2 at scale 14 with a small pass-1 batch "
         "(memory bounded by O(batch + N))",

@@ -44,7 +44,7 @@ from repro.core.config import (
 )
 
 #: Current serialisation version (see :data:`_MIGRATIONS`).
-SPEC_VERSION = 2
+SPEC_VERSION = 3
 
 #: How a run may interact with the environment's artifact cache.
 CACHE_POLICIES = ("shared", "off")
@@ -70,11 +70,20 @@ def _migrate_v1(doc: Dict[str, object]) -> Dict[str, object]:
     return doc
 
 
+def _migrate_v2(doc: Dict[str, object]) -> Dict[str, object]:
+    """v2 → v3: ``async_lanes`` was introduced (the default,
+    ``"thread"``, matches the old behaviour — no field rewriting)."""
+    doc = dict(doc)
+    doc["spec_version"] = 3
+    return doc
+
+
 #: Upgrade hooks: ``_MIGRATIONS[v]`` rewrites a version-``v`` document
 #: to version ``v+1``.  Loading applies them in sequence up to
 #: :data:`SPEC_VERSION`.
 _MIGRATIONS: Dict[int, Callable[[Dict[str, object]], Dict[str, object]]] = {
     1: _migrate_v1,
+    2: _migrate_v2,
 }
 
 
@@ -132,6 +141,7 @@ class RunSpec:
     parallel_ranks: int = DEFAULT_PARALLEL_RANKS
     parallel_executor: str = "sim"
     streaming_batch_edges: int = DEFAULT_STREAMING_BATCH_EDGES
+    async_lanes: str = "thread"
     data_dir: Optional[str] = None
     repeats: int = 1
     cache_policy: str = "shared"
@@ -207,6 +217,7 @@ class RunSpec:
             parallel_ranks=self.parallel_ranks,
             parallel_executor=self.parallel_executor,
             streaming_batch_edges=self.streaming_batch_edges,
+            async_lanes=self.async_lanes,
         )
 
     @classmethod
@@ -242,6 +253,7 @@ class RunSpec:
             parallel_ranks=config.parallel_ranks,
             parallel_executor=config.parallel_executor,
             streaming_batch_edges=config.streaming_batch_edges,
+            async_lanes=config.async_lanes,
             data_dir=str(config.data_dir) if config.data_dir else None,
             **api_fields,  # type: ignore[arg-type]
         )

@@ -68,10 +68,16 @@ def _print_kernel_report(result) -> None:
             # Async strategy: kernel seconds above are busy time; the
             # overlap's saving shows up in the end-to-end wall-clock.
             wall = result.kernels[-1].details.get("pipeline_wall_seconds")
+            lanes = result.kernels[-1].details.get("lane_busy_seconds") or {}
+            lane_note = (
+                f"; codec offloaded to process lanes "
+                f"({lanes['process']:.4f}s busy)"
+                if "process" in lanes else ""
+            )
             print(
                 f"async overlap: wall {wall:.4f}s for "
                 f"{result.total_seconds:.4f}s of kernel busy time "
-                f"(overlap saved {overlap:.4f}s)"
+                f"(overlap saved {overlap:.4f}s){lane_note}"
             )
 
 
@@ -93,6 +99,7 @@ _RUN_SPEC_ARGS = {
     "ranks": "parallel_ranks",
     "parallel_executor": "parallel_executor",
     "batch_edges": "streaming_batch_edges",
+    "async_lanes": "async_lanes",
     "data_dir": "data_dir",
     "repeats": "repeats",
 }

@@ -10,6 +10,7 @@ from typing import List, Optional
 from repro.cli import commands
 from repro.core.artifacts import ArtifactCache
 from repro.core.config import (
+    ASYNC_LANES,
     DEFAULT_PARALLEL_RANKS,
     DEFAULT_STREAMING_BATCH_EDGES,
     EXECUTION_MODES,
@@ -115,6 +116,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--batch-edges", type=int,
                      default=DEFAULT_STREAMING_BATCH_EDGES,
                      help="pass-1 batch size for --execution streaming")
+    run.add_argument("--async-lanes", default="thread",
+                     choices=list(ASYNC_LANES),
+                     help="for --execution async: run the GIL-bound TSV "
+                          "codec tasks on scheduler threads (thread) or "
+                          "offload them to lane worker processes "
+                          "(process); results are bit-identical, K3 "
+                          "details report per-lane busy time")
     run.add_argument("--repeats", type=int, default=1,
                      help="repeat the run; per-kernel records keep the "
                           "best time")

@@ -21,7 +21,15 @@ GIL-bound hot loop serial:
   afterwards;
 * inside Kernel 2, ingest chunking, dedup compute, and spill writes
   proceed on three lanes joined by bounded hand-off queues
-  (``overlap_io=True``).
+  (``overlap_io=True``);
+* with ``config.async_lanes="process"``, the GIL-bound TSV codec tasks
+  — Kernel 0/1 shard encodes and Kernel 1 shard decodes — are marked
+  ``lane="process"`` and dispatched to a
+  :class:`~repro.core.lanes.ProcessLanePool`, so encoding shard *i+1*
+  genuinely overlaps the write of shard *i* and Kernel 2/3 compute
+  instead of contending for the parent's GIL (the per-stage write
+  chains that exist to serialise GIL-bound encodes are dropped: lane
+  workers encode independent shards concurrently).
 
 **Timing attribution stays honest.**  Each kernel's reported ``seconds``
 is its *busy* time — the sum of time its tasks actually spent working,
@@ -59,6 +67,7 @@ from repro.backends.base import Details
 from repro.core.config import KernelName, PipelineConfig
 from repro.core.exceptions import KernelContractError
 from repro.core.executor import Executor, StageOutput
+from repro.core.lanes import DEFAULT_LANE_WORKERS, LaneTask, ProcessLanePool
 from repro.core.results import KernelResult, PipelineResult
 from repro.core.scheduler import ScheduleResult, SchedulerError, TaskGraph
 from repro.core.stages import ARTIFACT_K1, ExecutionPlan, Stage, StageContext
@@ -106,18 +115,99 @@ class AsyncExecutor(Executor):
     def _run_plan(
         self, ctx: StageContext, result: PipelineResult, *, verify: bool
     ) -> None:
-        graph, artifact_tasks = self._build_graph(ctx, verify)
+        codec_lane = self._codec_lane(ctx.config)
+        graph, artifact_tasks = self._build_graph(ctx, verify, codec_lane)
+        lane_pool = (
+            ProcessLanePool(DEFAULT_LANE_WORKERS)
+            if codec_lane == "process" else None
+        )
+        if lane_pool is not None:
+            # Concurrently with the schedule, not before it: worker
+            # start-up (interpreter + numpy import) hides behind the
+            # K0 generate task instead of extending the wall, and a
+            # first dispatch that still beats the spawn just blocks on
+            # the checkout queue (the wait is excluded from its busy
+            # time).  Failures surface on the dispatch path as
+            # LaneWorkerCrashError; shutdown() joins the warm-up.
+            lane_pool.prestart(block=False)
         try:
-            schedule = graph.run(max_workers=self._pool_width())
+            schedule = graph.run(
+                max_workers=self._pool_width(codec_lane),
+                lane_pool=lane_pool,
+            )
         except SchedulerError as exc:
             # A contract violation inside a stage task must surface as
             # the same exception type the other executors raise.
             if isinstance(exc.__cause__, KernelContractError):
                 raise exc.__cause__
             raise
+        finally:
+            if lane_pool is not None:
+                lane_pool.shutdown()
         records = self._assemble(ctx, schedule, artifact_tasks)
         for _, kernel_result in records:
             result.kernels.append(kernel_result)
+
+    def _codec_lane(self, config: PipelineConfig) -> str:
+        """Which lane the TSV codec tasks run on for this config.
+
+        Process offload applies only where it pays and where per-shard
+        tasks exist at all: the fine-grained expansion (no artifact
+        cache, no external sort) of a text format whose encode/decode
+        is GIL-bound.  ``npy`` shards are raw buffer writes — the pipe
+        transfer would cost more than the GIL time it buys back.
+        """
+        fine = config.cache_dir is None and not config.external_sort
+        if (
+            config.async_lanes == "process"
+            and fine
+            and config.file_format in ("tsv", "tsv.gz")
+        ):
+            return "process"
+        return "thread"
+
+    @staticmethod
+    def _shard_write_fn(
+        out_dir, index: int, source_task: str, config: PipelineConfig,
+        codec_lane: str,
+    ):
+        """Body of one shard-write task reading arrays from ``source_task``.
+
+        The single source of truth for the codec write: slice the
+        source arrays to this shard, then either write in-thread or
+        return the lane descriptor for the identical operation.
+        """
+        def write(results: Dict[str, object]):
+            u, v = results[source_task]
+            start, end = shard_slices(len(u), config.num_files)[index]
+            u_part, v_part = u[start:end], v[start:end]
+            if codec_lane == "process":
+                return LaneTask("encode-shard", dict(
+                    directory=str(out_dir), index=index,
+                    u=u_part, v=v_part,
+                    fmt=config.file_format,
+                    vertex_base=config.vertex_base,
+                ))
+            return write_shard(
+                out_dir, index, u_part, v_part,
+                fmt=config.file_format, vertex_base=config.vertex_base,
+            )
+
+        return write
+
+    @staticmethod
+    def _chain_deps(
+        codec_lane: str, anchor: str, previous: Optional[str]
+    ) -> Tuple[str, ...]:
+        """Dependencies for the next codec task in a per-stage series.
+
+        Thread lane: chain onto the previous task — GIL-bound codecs
+        would contend, not overlap.  Process lane: only the data/order
+        anchor — independent lane workers run shards concurrently.
+        """
+        if codec_lane == "process" or previous is None:
+            return (anchor,)
+        return (anchor, previous)
 
     def _check_contract(
         self, stage: Stage, ctx: StageContext, details: Details, verify: bool
@@ -136,16 +226,21 @@ class AsyncExecutor(Executor):
         stage.contract.check(ctx)
         details["contract_seconds"] = time.perf_counter() - t0
 
-    def _pool_width(self) -> int:
+    def _pool_width(self, codec_lane: str = "thread") -> int:
         if self.max_workers is not None:
             return max(1, self.max_workers)
+        if codec_lane == "process":
+            # Dispatch threads spend their time blocked on lane pipes
+            # (GIL released); widen the pool so they never crowd out
+            # the compute lanes.
+            return DEFAULT_MAX_WORKERS + DEFAULT_LANE_WORKERS
         return DEFAULT_MAX_WORKERS
 
     # ------------------------------------------------------------------
     # Graph construction
     # ------------------------------------------------------------------
     def _build_graph(
-        self, ctx: StageContext, verify: bool
+        self, ctx: StageContext, verify: bool, codec_lane: str = "thread"
     ) -> Tuple[TaskGraph, Dict[str, str]]:
         """Expand the plan's stages into a task graph.
 
@@ -155,6 +250,8 @@ class AsyncExecutor(Executor):
         expansion applies when neither the artifact cache nor the
         external sort reroutes Kernel 0/1 I/O; otherwise stages run as
         one task each, still scheduled as early as dependencies allow.
+        ``codec_lane="process"`` marks the shard encode/decode tasks
+        for lane-pool dispatch (see :meth:`_codec_lane`).
 
         Contracts run inside each artifact task; a contract that reads
         an *earlier* stage's artifact is safe because every artifact
@@ -173,7 +270,7 @@ class AsyncExecutor(Executor):
             deps = tuple(artifact_tasks[key] for key in stage.requires)
             if stage.kernel is KernelName.K0_GENERATE and fine:
                 task, k0_write_tasks = self._expand_generate(
-                    graph, ctx, stage, verify
+                    graph, ctx, stage, verify, codec_lane
                 )
             elif (
                 stage.kernel is KernelName.K1_SORT
@@ -181,7 +278,8 @@ class AsyncExecutor(Executor):
                 and k0_write_tasks is not None
             ):
                 task, k1_sort_task = self._expand_sort(
-                    graph, ctx, stage, k0_write_tasks, deps, verify
+                    graph, ctx, stage, k0_write_tasks, deps, verify,
+                    codec_lane,
                 )
             elif stage.kernel is KernelName.K2_FILTER:
                 task = self._expand_filter(
@@ -212,13 +310,17 @@ class AsyncExecutor(Executor):
         )
 
     def _expand_generate(
-        self, graph: TaskGraph, ctx: StageContext, stage: Stage, verify: bool
+        self, graph: TaskGraph, ctx: StageContext, stage: Stage, verify: bool,
+        codec_lane: str = "thread",
     ) -> Tuple[str, List[str]]:
-        """Kernel 0 as generate → chained shard writes → manifest.
+        """Kernel 0 as generate → shard writes → manifest.
 
-        Writes chain (encode is GIL-bound; parallel encodes would
-        contend, not overlap) — the overlap comes from Kernel 1 reading
-        finished shards while this chain is still encoding later ones.
+        On the thread lane, writes chain (encode is GIL-bound; parallel
+        encodes would contend, not overlap) and the overlap comes from
+        Kernel 1 reading finished shards while the chain is still
+        encoding later ones.  On the process lane the chain is dropped:
+        lane workers encode independent shards concurrently, so shard
+        *i+1*'s encode overlaps shard *i*'s write as well.
         """
         from repro.generators.registry import get_generator
 
@@ -237,20 +339,15 @@ class AsyncExecutor(Executor):
         write_tasks: List[str] = []
         previous: Optional[str] = None
         for index in range(config.num_files):
-            def write(results: Dict[str, object], index: int = index):
-                u, v = results[gen_task]
-                start, end = shard_slices(len(u), config.num_files)[index]
-                return write_shard(
-                    out_dir, index, u[start:end], v[start:end],
-                    fmt=config.file_format, vertex_base=config.vertex_base,
-                )
-
-            # The previous write is an ordering-only dependency (the
-            # chain serialises GIL-bound encodes); gen is a data
-            # dependency, declared so its arrays stay alive.
-            deps = (gen_task,) if previous is None else (gen_task, previous)
+            # gen is the data-dependency anchor (its arrays must stay
+            # alive); on the thread lane the previous write rides along
+            # as an ordering-only chain link.
             previous = graph.add(
-                f"k0:write:{index}", write, deps=deps, group=group
+                f"k0:write:{index}",
+                self._shard_write_fn(out_dir, index, gen_task, config,
+                                     codec_lane),
+                deps=self._chain_deps(codec_lane, gen_task, previous),
+                group=group, lane=codec_lane,
             )
             write_tasks.append(previous)
 
@@ -291,14 +388,17 @@ class AsyncExecutor(Executor):
         k0_write_tasks: List[str],
         artifact_deps: Tuple[str, ...],
         verify: bool,
+        codec_lane: str = "thread",
     ) -> Tuple[str, str]:
-        """Kernel 1 as chained shard reads → sort → chained writes.
+        """Kernel 1 as shard reads → sort → shard writes.
 
         Each read task depends only on *its* Kernel 0 shard write — not
         on the whole Kernel 0 stage — which is where the K0-write /
         K1-read overlap comes from.  The sort task's result doubles as
         the hand-off to Kernel 2's ingest lane, so the shard writes that
         persist the sorted dataset run concurrently with the filter.
+        On the process lane, reads (TSV decode) and writes (TSV encode)
+        are lane-pool tasks and the encode chain is dropped.
         """
         from repro.sort.inmemory import sort_edges
 
@@ -310,17 +410,22 @@ class AsyncExecutor(Executor):
         read_tasks: List[str] = []
         previous: Optional[str] = None
         for index, write_task in enumerate(k0_write_tasks):
-            deps = (write_task,) if previous is None else (write_task, previous)
-
             def read(results: Dict[str, object], index: int = index):
                 path = src_dir / shard_file_name(index, config.file_format)
+                if codec_lane == "process":
+                    return LaneTask("decode-shard", dict(
+                        path=str(path), fmt=config.file_format,
+                        vertex_base=config.vertex_base,
+                    ))
                 return read_shard_file(
                     path, fmt=config.file_format,
                     vertex_base=config.vertex_base,
                 )
 
             previous = graph.add(
-                f"k1:read:{index}", read, deps=deps, group=group
+                f"k1:read:{index}", read,
+                deps=self._chain_deps(codec_lane, write_task, previous),
+                group=group, lane=codec_lane,
             )
             read_tasks.append(previous)
 
@@ -342,18 +447,12 @@ class AsyncExecutor(Executor):
         write_tasks: List[str] = []
         previous = None
         for index in range(config.num_files):
-            def write(results: Dict[str, object], index: int = index):
-                u, v = results[sort_task]
-                start, end = shard_slices(len(u), config.num_files)[index]
-                return write_shard(
-                    out_dir, index, u[start:end], v[start:end],
-                    fmt=config.file_format,
-                    vertex_base=config.vertex_base,
-                )
-
-            deps = (sort_task,) if previous is None else (sort_task, previous)
             previous = graph.add(
-                f"k1:write:{index}", write, deps=deps, group=group
+                f"k1:write:{index}",
+                self._shard_write_fn(out_dir, index, sort_task, config,
+                                     codec_lane),
+                deps=self._chain_deps(codec_lane, sort_task, previous),
+                group=group, lane=codec_lane,
             )
             write_tasks.append(previous)
 
@@ -541,12 +640,20 @@ class AsyncExecutor(Executor):
             details["execution"] = "async"
             details["busy_seconds"] = seconds
             if stage is last:
+                codec_lane = self._codec_lane(config)
                 details["overlap_saved_s"] = overlap_saved
                 details["pipeline_wall_seconds"] = schedule.wall_seconds
                 details["pipeline_busy_seconds"] = total_busy
                 details["stage_busy_seconds"] = dict(stage_busy)
                 details["verification_seconds"] = verification_seconds
-                details["max_workers"] = self._pool_width()
+                details["max_workers"] = self._pool_width(codec_lane)
+                # Lane attribution: the configured knob, the lane the
+                # codec actually ran on (coarse/npy runs stay on
+                # threads regardless of the knob), and busy time per
+                # lane so the offload's share is measurable.
+                details["async_lanes"] = config.async_lanes
+                details["codec_lane"] = codec_lane
+                details["lane_busy_seconds"] = schedule.lane_busy_seconds()
             edges = int(
                 details.get("edges_processed", stage.nominal_edges(config))
             )

@@ -49,6 +49,10 @@ PARALLEL_EXECUTORS = ("sim", "mp")
 #: Default pass-1 batch size for the "streaming" strategy (config, CLI,
 #: and :func:`repro.core.streaming.streaming_kernel2`).
 DEFAULT_STREAMING_BATCH_EDGES = 1 << 18
+#: Lane kinds for the "async" strategy's codec tasks (config and CLI):
+#: "thread" keeps TSV encode/decode on the scheduler's thread pool,
+#: "process" offloads them to a :class:`repro.core.lanes.ProcessLanePool`.
+ASYNC_LANES = ("thread", "process")
 
 
 @dataclass(frozen=True)
@@ -115,6 +119,12 @@ class PipelineConfig:
     streaming_batch_edges:
         Pass-1 batch size (the memory knob) for the ``"streaming"``
         strategy.
+    async_lanes:
+        Where the ``"async"`` strategy runs its GIL-bound TSV codec
+        tasks: ``"thread"`` (scheduler thread pool, the default) or
+        ``"process"`` (offloaded to lane worker processes so shard
+        encodes/decodes overlap compute instead of contending for the
+        GIL).  Results are bit-identical either way.
     """
 
     scale: int
@@ -139,6 +149,7 @@ class PipelineConfig:
     parallel_ranks: int = DEFAULT_PARALLEL_RANKS
     parallel_executor: str = "sim"
     streaming_batch_edges: int = DEFAULT_STREAMING_BATCH_EDGES
+    async_lanes: str = "thread"
 
     def __post_init__(self) -> None:
         check_positive_int("scale", self.scale)
@@ -171,6 +182,11 @@ class PipelineConfig:
                 f"got {self.parallel_executor!r}"
             )
         check_positive_int("streaming_batch_edges", self.streaming_batch_edges)
+        if self.async_lanes not in ASYNC_LANES:
+            raise ValueError(
+                f"async_lanes must be one of {ASYNC_LANES}, "
+                f"got {self.async_lanes!r}"
+            )
         if self.data_dir is not None:
             object.__setattr__(self, "data_dir", Path(self.data_dir))
         if self.cache_dir is not None:

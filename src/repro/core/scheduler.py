@@ -22,10 +22,17 @@ Two properties matter for a benchmark harness and are designed in:
   overlap actually recovered — as a separate, clearly-labelled number
   instead of silently deflating kernel times.
 
-The scheduler is deliberately small: threads (not processes) because the
-overlapped work is dominated by file I/O and numpy kernels that release
-the GIL, and a plain ready-queue loop because the graphs involved have
-tens of nodes, not millions.
+The scheduler is deliberately small: a thread pool plus a plain
+ready-queue loop, because the graphs involved have tens of nodes, not
+millions.  Threads suffice where the overlapped work releases the GIL
+(file I/O, numpy kernels); for the work that does not — the TSV codec —
+a task can be marked ``lane="process"``, in which case its body returns
+a :class:`~repro.core.lanes.LaneTask` descriptor and the scheduler
+dispatches it to an attached :class:`~repro.core.lanes.ProcessLanePool`
+(the dispatching thread blocks on the pipe, GIL released, while a lane
+worker does the CPU work).  Without an attached pool a process-lane
+task simply runs its op on the scheduler thread, so lane marking is a
+performance hint, never a correctness switch.
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.exceptions import PipelineError
+from repro.core.lanes import LANE_KINDS, LaneTask, ProcessLanePool, run_lane_op
 
 #: A task body: receives the (read-only) map of completed task results,
 #: keyed by task name, and returns this task's result.
@@ -62,6 +70,11 @@ class TaskSpec:
     #: full edge arrays would otherwise stay pinned for the whole run.
     #: Tasks with no dependents (sinks) are always kept.
     retain: bool = False
+    #: Where the task's CPU work runs: ``"thread"`` (on the scheduler
+    #: pool, the default) or ``"process"`` (the body returns a
+    #: :class:`~repro.core.lanes.LaneTask` which is shipped to the
+    #: run's lane pool — or executed in-place when none is attached).
+    lane: str = "thread"
 
 
 @dataclass(frozen=True)
@@ -72,11 +85,23 @@ class TaskTiming:
     group: str
     started: float
     finished: float
+    #: Lane the task was scheduled on.  For a process-lane task the
+    #: interval covers descriptor build + pipe round-trip + remote
+    #: compute; time spent merely *queuing* for a lane worker is
+    #: recorded separately and excluded from :attr:`seconds`.
+    lane: str = "thread"
+    #: Seconds a process-lane dispatch waited for a free lane worker
+    #: (idle-queue wait plus any lazy respawn).  Kept out of busy
+    #: time: when concurrent codec tasks outnumber lane workers, the
+    #: same worker's compute would otherwise be billed to every
+    #: dispatch that queued behind it, inflating group/lane busy sums
+    #: and ``overlap_saved_seconds``.
+    queue_wait: float = 0.0
 
     @property
     def seconds(self) -> float:
         """Busy time of the task on its worker thread."""
-        return self.finished - self.started
+        return self.finished - self.started - self.queue_wait
 
 
 @dataclass
@@ -101,10 +126,23 @@ class ScheduleResult:
     wall_seconds: float = 0.0
 
     def group_busy_seconds(self) -> Dict[str, float]:
-        """Summed task busy time per group, insertion-ordered."""
+        """Summed task busy time per group, insertion-ordered.
+
+        Lane-offloaded tasks count toward their group exactly like
+        thread tasks — the group is the *what* (a kernel), the lane the
+        *where*, and per-kernel attribution must not change when work
+        moves between lanes.
+        """
         out: Dict[str, float] = {}
         for timing in self.timings.values():
             out[timing.group] = out.get(timing.group, 0.0) + timing.seconds
+        return out
+
+    def lane_busy_seconds(self) -> Dict[str, float]:
+        """Summed task busy time per lane (``thread``/``process``)."""
+        out: Dict[str, float] = {}
+        for timing in self.timings.values():
+            out[timing.lane] = out.get(timing.lane, 0.0) + timing.seconds
         return out
 
     @property
@@ -153,17 +191,32 @@ class TaskGraph:
         deps: Tuple[str, ...] = (),
         group: str = "",
         retain: bool = False,
+        lane: str = "thread",
     ) -> str:
         """Register a task; returns its name for convenient chaining.
+
+        Parameters
+        ----------
+        lane:
+            ``"thread"`` runs ``fn``'s return value as the result;
+            ``"process"`` requires ``fn`` to return a
+            :class:`~repro.core.lanes.LaneTask`, which is dispatched to
+            the lane pool handed to :meth:`run` (or executed in-place
+            when none is).
 
         Raises
         ------
         ValueError
-            On a duplicate name or a dependency that has not been added
-            yet (which is also how cycles are rejected).
+            On a duplicate name, an unknown lane, or a dependency that
+            has not been added yet (which is also how cycles are
+            rejected).
         """
         if name in self._tasks:
             raise ValueError(f"duplicate task name {name!r}")
+        if lane not in LANE_KINDS:
+            raise ValueError(
+                f"lane must be one of {LANE_KINDS}, got {lane!r}"
+            )
         missing = [dep for dep in deps if dep not in self._tasks]
         if missing:
             raise ValueError(
@@ -172,12 +225,17 @@ class TaskGraph:
             )
         self._tasks[name] = TaskSpec(
             name=name, fn=fn, deps=tuple(deps), group=group or name,
-            retain=retain,
+            retain=retain, lane=lane,
         )
         return name
 
     # ------------------------------------------------------------------
-    def run(self, max_workers: Optional[int] = None) -> ScheduleResult:
+    def run(
+        self,
+        max_workers: Optional[int] = None,
+        *,
+        lane_pool: Optional[ProcessLanePool] = None,
+    ) -> ScheduleResult:
         """Execute the graph, overlapping every ready task.
 
         Parameters
@@ -185,6 +243,11 @@ class TaskGraph:
         max_workers:
             Thread-pool width; ``max_workers=1`` degenerates to serial
             execution in insertion order (useful for debugging).
+        lane_pool:
+            Destination for ``lane="process"`` tasks.  When omitted,
+            their :class:`~repro.core.lanes.LaneTask` descriptors run
+            on the scheduler thread instead — identical results, no
+            extra processes.
 
         Raises
         ------
@@ -206,8 +269,19 @@ class TaskGraph:
 
         def _call(spec: TaskSpec):
             started = time.perf_counter() - clock0
+            queue_wait = 0.0
             try:
                 value = spec.fn(result.results)
+                if spec.lane == "process":
+                    if not isinstance(value, LaneTask):
+                        raise TypeError(
+                            f"process-lane task {spec.name!r} must return "
+                            f"a LaneTask descriptor, got {type(value).__name__}"
+                        )
+                    if lane_pool is not None:
+                        value, queue_wait = lane_pool.run_task_timed(value)
+                    else:
+                        value = run_lane_op(value.op, value.payload)
             finally:
                 finished = time.perf_counter() - clock0
                 result.timings[spec.name] = TaskTiming(
@@ -215,6 +289,8 @@ class TaskGraph:
                     group=spec.group,
                     started=started,
                     finished=finished,
+                    lane=spec.lane,
+                    queue_wait=queue_wait,
                 )
             return value
 

@@ -1,10 +1,17 @@
 """TSV edge format: ``u\\tv\\n`` per edge (paper Section IV.A).
 
-Encoding renders both columns with numpy's string kernels and joins them;
-decoding tokenises the whole buffer at once rather than looping over
-lines in Python.  A slow-but-strict line parser
-(:func:`parse_edge_line`) backs the corruption diagnostics with line
-numbers.
+Encoding and decoding are the pipeline's data-movement hot path — every
+Kernel 0 shard write and Kernel 1 shard read pays them — so both run as
+**vectorized pure-numpy byte assembly**: digits are written straight
+into one ``uint8`` buffer (encode) and parsed straight out of the file
+bytes (decode) without materialising per-line Python strings or a
+Python token list.  The historical string-kernel paths are kept as
+private functions: they back the corruption diagnostics (exact error
+messages, line numbers via :func:`parse_edge_line`), handle exotic but
+legal inputs the fast path declines (signed labels, ``+`` prefixes,
+>18-digit tokens), and serve as the reference implementation that
+``tools/bench_codec.py`` measures the fast path against.  The fast and
+legacy paths are asserted byte-identical by the test suite.
 
 The paper's Matlab reference is 1-based; this library is 0-based
 internally.  ``vertex_base`` selects the on-disk convention (default 0)
@@ -13,7 +20,7 @@ and conversion happens at this boundary only.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -22,6 +29,15 @@ from repro.edgeio.errors import CorruptEdgeFileError
 
 #: On-disk vertex labels start at this value by default.
 DEFAULT_VERTEX_BASE = 0
+
+_ASCII_ZERO = 0x30
+_TAB = 0x09
+_NEWLINE = 0x0A
+
+#: Tokens longer than this may overflow int64 during the vectorized
+#: accumulate; the legacy parser (whose ``np.array(tokens)`` conversion
+#: reports overflow as corruption) handles them instead.
+_MAX_FAST_DIGITS = 18
 
 
 def encode_edges(
@@ -57,10 +73,68 @@ def encode_edges(
         return b""
     u_out = np.asarray(u, dtype=np.int64) + vertex_base
     v_out = np.asarray(v, dtype=np.int64) + vertex_base
+    if int(u_out.min()) < 0 or int(v_out.min()) < 0:
+        # Negative labels are legal bytes-wise but rare enough that the
+        # fast path does not carry sign logic; the string kernels do.
+        return _encode_edges_strings(u_out, v_out)
+    return _encode_edges_fast(u_out, v_out)
+
+
+def _encode_edges_strings(u_out: np.ndarray, v_out: np.ndarray) -> bytes:
+    """Reference encoder via numpy's string kernels (slow, general).
+
+    Builds one Python string object per line; kept for negative labels
+    and as the baseline ``tools/bench_codec.py`` measures against.
+    """
     u_txt = np.char.mod("%d", u_out)
     v_txt = np.char.mod("%d", v_out)
     lines = np.char.add(np.char.add(u_txt, "\t"), np.char.add(v_txt, "\n"))
     return "".join(lines.tolist()).encode("ascii")
+
+
+def _digit_counts(values: np.ndarray) -> np.ndarray:
+    """Decimal digit count of each non-negative int64 (exact, no log10)."""
+    counts = np.ones(len(values), dtype=np.int64)
+    bound = 10
+    ceiling = int(values.max())
+    while bound <= ceiling:
+        counts += values >= bound
+        bound *= 10
+    return counts
+
+
+def _fill_digits(
+    buf: np.ndarray,
+    values: np.ndarray,
+    digits: np.ndarray,
+    last_pos: np.ndarray,
+) -> None:
+    """Write each value's decimal digits ending at ``last_pos`` (LSB there)."""
+    remaining = values
+    max_digits = int(digits.max())
+    for k in range(max_digits):
+        remaining, digit = np.divmod(remaining, 10)
+        mask = digits > k
+        buf[last_pos[mask] - k] = _ASCII_ZERO + digit[mask]
+
+
+def _encode_edges_fast(u_out: np.ndarray, v_out: np.ndarray) -> bytes:
+    """Vectorized encoder: one uint8 buffer, no per-line Python objects.
+
+    Layout per line ``i``: ``u`` digits, tab, ``v`` digits, newline.
+    Every write below is a single fancy-indexed numpy store; the byte
+    output is identical to :func:`_encode_edges_strings`.
+    """
+    du = _digit_counts(u_out)
+    dv = _digit_counts(v_out)
+    ends = np.cumsum(du + dv + 2)
+    buf = np.empty(int(ends[-1]), dtype=np.uint8)
+    buf[ends - 1] = _NEWLINE
+    tab_pos = ends - dv - 2
+    buf[tab_pos] = _TAB
+    _fill_digits(buf, u_out, du, tab_pos - 1)
+    _fill_digits(buf, v_out, dv, ends - 2)
+    return buf.tobytes()
 
 
 def decode_edges(
@@ -105,6 +179,66 @@ def decode_edges(
         v = np.array(v_list, dtype=np.int64) - vertex_base
         return u, v
 
+    decoded = _decode_edges_fast(payload)
+    if decoded is None:
+        decoded = _decode_edges_split(payload)
+    u, v = decoded
+    if vertex_base:
+        u = u - vertex_base
+        v = v - vertex_base
+    return np.ascontiguousarray(u), np.ascontiguousarray(v)
+
+
+def _decode_edges_fast(
+    payload: bytes,
+) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Buffer-level tokenizer: parse labels straight from the bytes.
+
+    Handles the overwhelmingly common case — non-negative decimal
+    labels separated by ASCII whitespace — without building a Python
+    token list (``payload.split()`` allocates one PyObject per label,
+    which dominates warm decode).  Returns ``None`` when the payload
+    needs the general parser: any byte that is neither a digit nor
+    whitespace (signs, letters — the legacy path owns the error
+    wording), or a token long enough to overflow the int64 accumulate.
+    """
+    data = np.frombuffer(payload, dtype=np.uint8)
+    is_digit = (data >= _ASCII_ZERO) & (data <= _ASCII_ZERO + 9)
+    # bytes.split() splits on exactly this set: space, \t\n\r\x0b\x0c.
+    is_ws = (
+        (data == 0x20) | (data == 0x09) | (data == 0x0A)
+        | (data == 0x0D) | (data == 0x0B) | (data == 0x0C)
+    )
+    if not bool((is_digit | is_ws).all()):
+        return None
+    flags = np.zeros(len(data) + 2, dtype=np.int8)
+    flags[1:-1] = is_digit
+    edges_of = np.diff(flags)
+    starts = np.flatnonzero(edges_of == 1)
+    stops = np.flatnonzero(edges_of == -1)
+    num_tokens = len(starts)
+    if num_tokens % 2 != 0:
+        raise CorruptEdgeFileError(
+            f"edge payload has an odd number of tokens ({num_tokens}); "
+            "each edge needs exactly two vertex labels"
+        )
+    lengths = stops - starts
+    if int(lengths.max()) > _MAX_FAST_DIGITS:
+        return None
+    values = np.zeros(num_tokens, dtype=np.int64)
+    for k in range(int(lengths.max())):
+        mask = lengths > k
+        values[mask] = values[mask] * 10 + (
+            data[starts[mask] + k].astype(np.int64) - _ASCII_ZERO
+        )
+    return values[0::2], values[1::2]
+
+
+def _decode_edges_split(payload: bytes) -> Tuple[np.ndarray, np.ndarray]:
+    """General tokenizer via ``payload.split()`` (slow, allocates a
+    Python token list).  Owns the corruption error wording and the
+    exotic-but-legal inputs (signed labels, ``+`` prefixes, tokens the
+    int64 accumulate could overflow on)."""
     tokens = payload.split()
     if len(tokens) % 2 != 0:
         raise CorruptEdgeFileError(
@@ -118,9 +252,7 @@ def decode_edges(
             f"edge payload contains a non-integer vertex label: {exc}"
         ) from exc
     edges = flat.reshape(-1, 2)
-    u = edges[:, 0] - vertex_base
-    v = edges[:, 1] - vertex_base
-    return np.ascontiguousarray(u), np.ascontiguousarray(v)
+    return edges[:, 0], edges[:, 1]
 
 
 def parse_edge_line(raw: bytes, *, lineno: int = 0) -> Tuple[int, int]:

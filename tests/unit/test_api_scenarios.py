@@ -76,6 +76,16 @@ class TestBuiltins:
     def test_async_overlap_uses_async_execution(self):
         assert get_scenario("async-overlap").execution == "async"
 
+    def test_async_overlap_proc_selects_process_lanes(self):
+        spec = get_scenario("async-overlap-proc")
+        assert spec.execution == "async"
+        assert spec.async_lanes == "process"
+        assert spec.num_files > 1  # per-shard lane tasks to overlap
+        # Overrides still win, as with every scenario.
+        assert get_scenario(
+            "async-overlap-proc", async_lanes="thread"
+        ).async_lanes == "thread"
+
     def test_parallel_mp_selects_mp_communicator(self):
         spec = get_scenario("parallel-mp")
         assert spec.execution == "parallel"

@@ -29,8 +29,8 @@ class TestRunSpecRoundTrip:
             sort_by_end_vertex=True, external_sort=True,
             formula="paper-body", execution="parallel", parallel_ranks=3,
             parallel_executor="mp", streaming_batch_edges=1 << 10,
-            data_dir="/tmp/somewhere", repeats=2, cache_policy="off",
-            validation="full",
+            async_lanes="process", data_dir="/tmp/somewhere", repeats=2,
+            cache_policy="off", validation="full",
         )
         assert RunSpec.from_json(spec.to_json()) == spec
 
@@ -67,6 +67,22 @@ class TestRunSpecVersioning:
     def test_garbage_version_refused(self):
         with pytest.raises(ValueError, match="invalid spec_version"):
             RunSpec.from_dict({"scale": 6, "spec_version": "two"})
+
+    def test_v2_document_migrates(self):
+        # v2 predates async_lanes; the migration only restamps — the
+        # new field's default reproduces the old behaviour.
+        spec = RunSpec.from_dict(
+            {"scale": 6, "execution": "async", "spec_version": 2}
+        )
+        assert spec.spec_version == SPEC_VERSION
+        assert spec.async_lanes == "thread"
+
+    def test_v1_chains_through_v2(self):
+        spec = RunSpec.from_dict(
+            {"scale": 6, "validate": True, "spec_version": 1}
+        )
+        assert spec.validation == "full"
+        assert spec.async_lanes == "thread"
 
     def test_constructor_refuses_stale_version(self):
         with pytest.raises(ValueError, match="migrated"):
@@ -113,6 +129,12 @@ class TestConfigBridge:
         assert RunSpec(
             scale=6, validation="validate-only"
         ).to_config().validate is True
+
+    def test_async_lanes_reaches_config_and_back(self):
+        spec = RunSpec(scale=6, execution="async", async_lanes="process")
+        config = spec.to_config()
+        assert config.async_lanes == "process"
+        assert RunSpec.from_config(config).async_lanes == "process"
 
     def test_verify_property(self):
         assert RunSpec(scale=6, validation="contracts").verify

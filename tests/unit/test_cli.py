@@ -152,6 +152,23 @@ class TestCommands:
         assert "async overlap:" in out
         assert "overlap saved" in out
 
+    def test_run_async_process_lanes(self, capsys):
+        assert main(["run", "--scale", "6", "--execution", "async",
+                     "--async-lanes", "process", "--num-files", "2",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["config"]["async_lanes"] == "process"
+        k3 = next(k for k in doc["kernels"] if k["kernel"] == "k3-pagerank")
+        assert k3["details"]["codec_lane"] == "process"
+        assert k3["details"]["lane_busy_seconds"]["process"] > 0.0
+
+    def test_run_async_lanes_flag_overrides_scenario(self, capsys):
+        assert main(["run", "--scenario", "async-overlap-proc",
+                     "--scale", "6", "--async-lanes", "thread",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["config"]["async_lanes"] == "thread"
+
     def test_cache_ls_rm_prune_round_trip(self, tmp_path, capsys):
         cache = str(tmp_path / "c")
         assert main(["run", "--scale", "6", "--cache-dir", cache]) == 0

@@ -4,9 +4,18 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.edgeio.errors import CorruptEdgeFileError
-from repro.edgeio.format import decode_edges, encode_edges, parse_edge_line
+from repro.edgeio.format import (
+    _decode_edges_fast,
+    _decode_edges_split,
+    _encode_edges_strings,
+    decode_edges,
+    encode_edges,
+    parse_edge_line,
+)
 
 
 class TestEncode:
@@ -73,6 +82,112 @@ class TestDecode:
         strict = decode_edges(payload, strict=True)
         assert np.array_equal(fast[0], strict[0])
         assert np.array_equal(fast[1], strict[1])
+
+
+class TestVectorizedEncodeParity:
+    """The fast path must be byte-identical to the string-kernel path."""
+
+    @pytest.mark.parametrize("hi", [1, 2, 10, 11, 101, 2**16, 2**40, 2**62])
+    def test_random_arrays_byte_identical(self, hi):
+        rng = np.random.default_rng(hi)
+        u = rng.integers(0, hi, 257, dtype=np.int64)
+        v = rng.integers(0, hi, 257, dtype=np.int64)
+        assert encode_edges(u, v) == _encode_edges_strings(u, v)
+
+    @pytest.mark.parametrize("value", [0, 9, 10, 99, 100, 999, 1000,
+                                       10**9 - 1, 10**9, 2**62])
+    def test_digit_count_boundaries(self, value):
+        arr = np.array([value], dtype=np.int64)
+        assert encode_edges(arr, arr) == f"{value}\t{value}\n".encode()
+
+    def test_mixed_widths_one_payload(self):
+        u = np.array([0, 10, 999, 2**40], dtype=np.int64)
+        v = np.array([7, 100, 9, 1], dtype=np.int64)
+        assert encode_edges(u, v) == b"0\t7\n10\t100\n999\t9\n1099511627776\t1\n"
+
+    def test_negative_labels_fall_back_to_string_path(self):
+        u = np.array([-3, 5], dtype=np.int64)
+        v = np.array([2, -1], dtype=np.int64)
+        assert encode_edges(u, v) == b"-3\t2\n5\t-1\n"
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2**62),
+                st.integers(min_value=0, max_value=2**62),
+            ),
+            min_size=1, max_size=64,
+        ),
+        st.integers(min_value=0, max_value=1),
+    )
+    def test_property_round_trip_and_parity(self, edges, base):
+        u = np.array([e[0] for e in edges], dtype=np.int64)
+        v = np.array([e[1] for e in edges], dtype=np.int64)
+        payload = encode_edges(u, v, vertex_base=base)
+        assert payload == _encode_edges_strings(u + base, v + base)
+        ru, rv = decode_edges(payload, vertex_base=base)
+        assert np.array_equal(ru, u) and np.array_equal(rv, v)
+
+
+class TestBufferLevelDecode:
+    """The frombuffer tokenizer must agree with ``payload.split()``."""
+
+    @pytest.mark.parametrize("payload", [
+        b"1 2\n3 4",            # space-separated
+        b"1\t2\r\n3\t4\r\n",    # CRLF
+        b"  5\t6\n",            # leading whitespace
+        b"7\x0b8",              # vertical tab (split() treats it as ws)
+        b"9\x0c10\n",           # form feed
+        b"1\t2\n\n\n3\t4\n",    # blank lines
+    ])
+    def test_whitespace_variants_match_split(self, payload):
+        fast = _decode_edges_fast(payload)
+        legacy = _decode_edges_split(payload)
+        assert fast is not None
+        assert np.array_equal(fast[0], legacy[0])
+        assert np.array_equal(fast[1], legacy[1])
+
+    def test_signed_labels_defer_to_split_path(self):
+        assert _decode_edges_fast(b"-5\t3\n") is None
+        u, v = decode_edges(b"-5\t3\n")
+        assert u[0] == -5 and v[0] == 3
+
+    def test_plus_prefix_defers_to_split_path(self):
+        assert _decode_edges_fast(b"+5\t3\n") is None
+        u, v = decode_edges(b"+5\t3\n")
+        assert u[0] == 5 and v[0] == 3
+
+    def test_long_tokens_defer_to_split_path(self):
+        # 19 digits can overflow the vectorized accumulate; int64 still
+        # holds 2**62, so the split path must produce the value.
+        big = 2**62
+        payload = f"{big}\t{big}\n".encode()
+        assert _decode_edges_fast(payload) is None
+        u, v = decode_edges(payload)
+        assert u[0] == big and v[0] == big
+
+    def test_overflowing_token_is_corruption(self):
+        with pytest.raises(CorruptEdgeFileError, match="non-integer"):
+            decode_edges(b"99999999999999999999\t1\n")
+
+    def test_odd_token_count_message_matches_legacy(self):
+        with pytest.raises(CorruptEdgeFileError,
+                           match=r"odd number of tokens \(3\)"):
+            decode_edges(b"1\t2\n3\n")
+
+    def test_no_python_token_list_on_fast_path(self, monkeypatch):
+        # The satellite fix: warm decode must not materialise an
+        # O(edges) Python list.  Trip the legacy tokenizer to prove the
+        # fast path never reaches it for clean payloads.
+        import repro.edgeio.format as fmt
+
+        def boom(payload):
+            raise AssertionError("legacy split path used on clean payload")
+
+        monkeypatch.setattr(fmt, "_decode_edges_split", boom)
+        u, v = decode_edges(b"12\t34\n56\t78\n")
+        assert u.tolist() == [12, 56] and v.tolist() == [34, 78]
 
 
 class TestParseEdgeLine:

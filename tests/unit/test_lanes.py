@@ -1,0 +1,224 @@
+"""Unit tests for the process-lane pool behind the async executor.
+
+The pool's promises: lane workers produce byte-identical artifacts to
+in-process execution, op failures come back with their original type
+name, a crashed worker is replaced without poisoning the pool, and
+shutdown leaves no processes behind.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.lanes import (
+    DEFAULT_LANE_WORKERS,
+    LANE_OPS,
+    LaneTask,
+    LaneWorkerCrashError,
+    ProcessLanePool,
+    RemoteLaneError,
+    run_lane_op,
+)
+from repro.edgeio.dataset import read_shard_file, write_shard
+
+
+def _edges(n=200, seed=3):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.integers(0, 1 << 12, n, dtype=np.int64),
+        rng.integers(0, 1 << 12, n, dtype=np.int64),
+    )
+
+
+def _encode_payload(directory, index, u, v, fmt="tsv"):
+    return dict(
+        directory=str(directory), index=index, u=u, v=v,
+        fmt=fmt, vertex_base=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def pool():
+    lane_pool = ProcessLanePool(2)
+    yield lane_pool
+    lane_pool.shutdown()
+
+
+class TestLaneOps:
+    def test_registry_has_the_codec_ops(self):
+        assert set(LANE_OPS) >= {"encode-shard", "decode-shard"}
+
+    def test_run_lane_op_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown lane op"):
+            run_lane_op("nope", {})
+
+    def test_encode_op_matches_write_shard(self, tmp_path):
+        u, v = _edges()
+        (tmp_path / "ref").mkdir()
+        reference = write_shard(tmp_path / "ref", 0, u, v,
+                                fmt="tsv", vertex_base=0)
+        info = run_lane_op(
+            "encode-shard", _encode_payload(tmp_path / "lane", 0, u, v)
+        )
+        assert info == reference
+        assert (
+            (tmp_path / "lane" / info.name).read_bytes()
+            == (tmp_path / "ref" / reference.name).read_bytes()
+        )
+
+    def test_decode_op_matches_read_shard_file(self, tmp_path):
+        u, v = _edges()
+        run_lane_op("encode-shard", _encode_payload(tmp_path, 0, u, v))
+        path = tmp_path / "part-00000.tsv"
+        lane_u, lane_v = run_lane_op(
+            "decode-shard", dict(path=str(path), fmt="tsv", vertex_base=0)
+        )
+        ref_u, ref_v = read_shard_file(path, fmt="tsv", vertex_base=0)
+        assert np.array_equal(lane_u, ref_u)
+        assert np.array_equal(lane_v, ref_v)
+
+
+class TestProcessLanePool:
+    def test_round_trip_bit_identical(self, pool, tmp_path):
+        u, v = _edges()
+        info = pool.run(
+            "encode-shard", _encode_payload(tmp_path, 0, u, v)
+        )
+        (tmp_path / "ref").mkdir()
+        reference = write_shard(tmp_path / "ref", 0, u, v,
+                                fmt="tsv", vertex_base=0)
+        assert info == reference
+        assert (
+            (tmp_path / info.name).read_bytes()
+            == (tmp_path / "ref" / reference.name).read_bytes()
+        )
+        lane_u, lane_v = pool.run(
+            "decode-shard",
+            dict(path=str(tmp_path / info.name), fmt="tsv", vertex_base=0),
+        )
+        assert np.array_equal(lane_u, u) and np.array_equal(lane_v, v)
+
+    def test_run_task_dispatches_descriptor(self, pool, tmp_path):
+        u, v = _edges(seed=5)
+        info = pool.run_task(
+            LaneTask("encode-shard", _encode_payload(tmp_path, 1, u, v))
+        )
+        assert info.num_edges == len(u)
+
+    def test_remote_error_carries_type_name(self, pool, tmp_path):
+        with pytest.raises(RemoteLaneError) as excinfo:
+            pool.run(
+                "decode-shard",
+                dict(path=str(tmp_path / "missing.tsv"),
+                     fmt="tsv", vertex_base=0),
+            )
+        assert excinfo.value.error_type == "FileNotFoundError"
+        # The worker survives a job-level failure and serves on.
+        assert pool.run(
+            "encode-shard", _encode_payload(tmp_path, 2, *_edges(seed=7))
+        ).num_edges == 200
+
+    def test_crashed_worker_is_replaced(self, pool, tmp_path):
+        u, v = _edges(seed=9)
+        pool.run("encode-shard", _encode_payload(tmp_path, 3, u, v))
+        for handle in list(pool._handles):
+            handle.process.terminate()
+            handle.process.join()
+        # Every slot respawns lazily; both must serve again.
+        for index in (4, 5):
+            info = pool.run(
+                "encode-shard", _encode_payload(tmp_path, index, u, v)
+            )
+            assert info.num_edges == len(u)
+
+    def test_prestart_spawns_and_warms_all_workers(self, tmp_path):
+        lane_pool = ProcessLanePool(2)
+        try:
+            lane_pool.prestart()
+            assert len(lane_pool._handles) == 2
+            assert all(
+                h.process.is_alive() for h in lane_pool._handles
+            )
+            u, v = _edges(seed=11)
+            info = lane_pool.run(
+                "encode-shard", _encode_payload(tmp_path, 0, u, v)
+            )
+            assert info.num_edges == len(u)
+            assert len(lane_pool._handles) == 2  # reused, not respawned
+        finally:
+            lane_pool.shutdown()
+
+    def test_prestart_failure_preserves_slot_tokens(self, monkeypatch,
+                                                    tmp_path):
+        # A worker that dies during warm-up must not leak its idle-queue
+        # token: the failure is re-raised, every slot survives as a
+        # lazy-respawn token, and a later dispatch recovers.
+        from repro.core import lanes as lanes_module
+
+        lane_pool = ProcessLanePool(2)
+        try:
+            monkeypatch.setattr(
+                lanes_module._LaneWorkerHandle, "ping",
+                lambda self: (_ for _ in ()).throw(
+                    LaneWorkerCrashError("warm-up died")
+                ),
+            )
+            with pytest.raises(LaneWorkerCrashError, match="warm-up died"):
+                lane_pool.prestart()
+            assert lane_pool._idle.qsize() == 2  # no token leaked
+            assert lane_pool._handles == []      # broken workers culled
+            monkeypatch.undo()
+            info = lane_pool.run(
+                "encode-shard", _encode_payload(tmp_path, 0, *_edges())
+            )
+            assert info.num_edges == 200
+        finally:
+            lane_pool.shutdown()
+
+    def test_background_prestart_then_immediate_shutdown(self):
+        # shutdown() must join the warm-up thread before stopping
+        # handles (two threads must never drive one pipe), then leave
+        # no live workers behind.
+        import time as time_module
+
+        lane_pool = ProcessLanePool(2)
+        lane_pool.prestart(block=False)
+        started = time_module.monotonic()
+        lane_pool.shutdown()
+        assert time_module.monotonic() - started < 15.0
+        thread = lane_pool._prestart_thread
+        assert thread is not None and not thread.is_alive()
+        assert lane_pool._handles == []
+
+    def test_run_timed_reports_queue_wait(self, pool, tmp_path):
+        result, queue_wait = pool.run_timed(
+            "encode-shard", _encode_payload(tmp_path, 9, *_edges())
+        )
+        assert result.num_edges == 200
+        assert queue_wait >= 0.0
+
+    def test_terminated_pool_refuses_work(self, tmp_path):
+        lane_pool = ProcessLanePool(1)
+        lane_pool.terminate()
+        with pytest.raises(LaneWorkerCrashError, match="terminated"):
+            lane_pool.run(
+                "encode-shard",
+                _encode_payload(tmp_path, 0, *_edges()),
+            )
+
+    def test_shutdown_stops_workers(self):
+        lane_pool = ProcessLanePool(1)
+        lane_pool.prestart()
+        handles = list(lane_pool._handles)
+        lane_pool.shutdown()
+        for handle in handles:
+            handle.process.join(timeout=5)
+            assert not handle.process.is_alive()
+
+    def test_worker_count_validated(self):
+        with pytest.raises(ValueError, match="workers must be >= 1"):
+            ProcessLanePool(0)
+
+    def test_default_worker_count_sane(self):
+        assert DEFAULT_LANE_WORKERS >= 1

@@ -7,6 +7,8 @@ import time
 
 import pytest
 
+from repro.core import lanes as lanes_module
+from repro.core.lanes import LaneTask
 from repro.core.scheduler import SchedulerError, TaskGraph
 
 
@@ -154,6 +156,131 @@ class TestTimingAttribution:
         graph.add("solo", lambda r: None)
         result = graph.run()
         assert "solo" in result.group_busy_seconds()
+
+
+class TestProcessLaneTasks:
+    """Lane marking, dispatch, and busy attribution for lane tasks."""
+
+    @pytest.fixture()
+    def sleep_op(self, monkeypatch):
+        """A registered lane op that sleeps then echoes its payload."""
+
+        def op(payload):
+            time.sleep(payload.get("sleep", 0.0))
+            return payload["value"]
+
+        registry = dict(lanes_module.LANE_OPS)
+        registry["test-sleep"] = op
+        monkeypatch.setattr(lanes_module, "LANE_OPS", registry)
+        return "test-sleep"
+
+    def test_unknown_lane_rejected(self):
+        with pytest.raises(ValueError, match="lane must be one of"):
+            TaskGraph().add("t", lambda r: 1, lane="fiber")
+
+    def test_process_lane_without_pool_runs_op_inline(self, sleep_op):
+        graph = TaskGraph()
+        graph.add(
+            "t",
+            lambda r: LaneTask(sleep_op, {"value": 41}),
+            lane="process",
+        )
+        result = graph.run()
+        assert result.results["t"] == 41
+        assert result.timings["t"].lane == "process"
+
+    def test_process_lane_task_must_return_descriptor(self):
+        graph = TaskGraph()
+        graph.add("t", lambda r: 41, lane="process")
+        with pytest.raises(SchedulerError, match="must return a LaneTask"):
+            graph.run()
+
+    def test_lane_result_flows_to_dependents(self, sleep_op):
+        graph = TaskGraph()
+        graph.add(
+            "a", lambda r: LaneTask(sleep_op, {"value": 6}), lane="process"
+        )
+        graph.add("b", lambda r: r["a"] * 7, deps=("a",))
+        assert graph.run().results["b"] == 42
+
+    def test_group_busy_includes_lane_offloaded_work(self, sleep_op):
+        # The satellite requirement: a kernel's busy sum must not lose
+        # the work that moved onto a lane.
+        graph = TaskGraph()
+        graph.add(
+            "enc",
+            lambda r: LaneTask(sleep_op, {"value": 1, "sleep": 0.03}),
+            lane="process", group="k0",
+        )
+        graph.add("gen", lambda r: time.sleep(0.01), group="k0")
+        result = graph.run(max_workers=2)
+        busy = result.group_busy_seconds()
+        assert busy["k0"] >= 0.04  # both tasks, lane-offloaded included
+        lane_busy = result.lane_busy_seconds()
+        assert lane_busy["process"] >= 0.03
+        assert lane_busy["thread"] >= 0.01
+        assert result.busy_seconds == pytest.approx(
+            lane_busy["process"] + lane_busy["thread"]
+        )
+
+    def test_overlap_saved_non_negative_with_lane_work(self, sleep_op):
+        # Two independent sleepy lane tasks plus a sleepy thread task:
+        # genuine overlap, so busy - wall must come out non-negative.
+        graph = TaskGraph()
+        for index in range(2):
+            graph.add(
+                f"lane{index}",
+                lambda r: LaneTask(sleep_op, {"value": 0, "sleep": 0.05}),
+                lane="process", group="codec",
+            )
+        graph.add("compute", lambda r: time.sleep(0.05), group="k2")
+        result = graph.run(max_workers=3)
+        assert result.overlap_saved_seconds >= 0.0
+        assert result.wall_seconds < 0.145  # ran concurrently
+
+    def test_queue_wait_excluded_from_busy(self):
+        # A dispatch that queues behind a busy lane worker must not
+        # count the wait as compute — or one worker's work would be
+        # billed to every queued task.
+        class StubPool:
+            def run_task_timed(self, task):
+                time.sleep(0.05)  # 0.01 compute + 0.04 reported wait
+                return task.payload["value"], 0.04
+
+        graph = TaskGraph()
+        graph.add(
+            "t", lambda r: LaneTask("any", {"value": 5}), lane="process"
+        )
+        result = graph.run(lane_pool=StubPool())
+        assert result.results["t"] == 5
+        timing = result.timings["t"]
+        assert timing.queue_wait == 0.04
+        assert timing.seconds == pytest.approx(
+            (timing.finished - timing.started) - 0.04
+        )
+        assert result.lane_busy_seconds()["process"] < 0.04
+
+    def test_lane_op_failure_surfaces_as_scheduler_error(self, monkeypatch):
+        def boom(payload):
+            raise RuntimeError("lane kaput")
+
+        registry = dict(lanes_module.LANE_OPS)
+        registry["test-boom"] = boom
+        monkeypatch.setattr(lanes_module, "LANE_OPS", registry)
+        graph = TaskGraph()
+        graph.add(
+            "bad", lambda r: LaneTask("test-boom", {}), lane="process"
+        )
+        with pytest.raises(SchedulerError, match="lane kaput"):
+            graph.run()
+
+    def test_unknown_op_rejected(self):
+        graph = TaskGraph()
+        graph.add(
+            "bad", lambda r: LaneTask("no-such-op", {}), lane="process"
+        )
+        with pytest.raises(SchedulerError, match="unknown lane op"):
+            graph.run()
 
 
 class TestResultLifetime:

@@ -9,6 +9,12 @@ plus end-to-end wall time, and compares each case's wall time against
 a checked-in baseline: more than ``--max-regression`` times slower
 fails the gate.
 
+``--async-lanes process`` reruns the same case matrix with the async
+cases' codec tasks offloaded to lane worker processes (the
+``overlap_saved_s`` each async case reported is recorded per case, so
+two contexts — one per lane kind — make the offload's win comparable
+point by point).
+
 The baseline (``benchmarks/baselines/bench_trajectory.json``) is
 deliberately generous — CI runners are slow and noisy, and this gate
 exists to catch *order-of-magnitude* regressions on the hot paths
@@ -19,10 +25,28 @@ Usage::
 
     python tools/bench_trajectory.py --context ci \
         [--output BENCH_ci.json] [--baseline path.json] \
-        [--max-regression 2.0] [--no-gate]
+        [--max-regression 2.0] [--no-gate] \
+        [--async-lanes thread|process]
 
 Exits 0 when every case is within budget, 1 on a regression, 2 on a
 benchmark that failed to run at all.
+
+**Aggregate mode** merges a directory of ``BENCH_<context>.json``
+artifacts (e.g. downloaded from CI) into one time-series document,
+sorted by each point's ``created`` timestamp (CI stamps one point per
+commit, so this is commit order)::
+
+    python tools/bench_trajectory.py --aggregate artifacts/ \
+        [--output TRAJECTORY.json]
+
+The merged document carries, per case, the full ``(created, context,
+wall_seconds)`` series plus min/median/max summaries, and the tool
+prints a suggested tightened baseline (per-case median × 1.5 across
+the accumulated points).  To tighten the checked-in gate, review that
+suggestion against the series — a downward-trending case can take the
+new number verbatim; a noisy one should keep more headroom — and copy
+the chosen ``wall_seconds`` values into
+``benchmarks/baselines/bench_trajectory.json``.
 """
 
 from __future__ import annotations
@@ -50,6 +74,19 @@ CASES = {
 }
 
 
+def case_matrix(async_lanes: str) -> dict:
+    """The pinned matrix, with the async cases on the requested lane."""
+    if async_lanes == "thread":
+        return dict(CASES)
+    return {
+        name: (
+            extra + ["--async-lanes", async_lanes]
+            if "--execution" in extra else list(extra)
+        )
+        for name, extra in CASES.items()
+    }
+
+
 def run_case(name: str, extra_args: list) -> dict:
     """Run one pinned configuration and distil its measurement."""
     command = [
@@ -74,13 +111,94 @@ def run_case(name: str, extra_args: list) -> dict:
         }
         for k in doc["kernels"]
     }
-    return {
+    case = {
         "wall_seconds": doc.get("wall_seconds", doc["total_seconds"]),
         "total_seconds": doc["total_seconds"],
         "benchmark_seconds": doc["benchmark_seconds"],
         "process_seconds": elapsed,  # incl. interpreter + imports
         "kernels": kernels,
     }
+    last = doc["kernels"][-1]["details"] if doc.get("kernels") else {}
+    if "overlap_saved_s" in last:
+        # Async cases: record the overlap the schedule recovered and
+        # the lane attribution, so thread- vs process-lane contexts
+        # compare on more than end-to-end wall.
+        case["overlap_saved_s"] = last["overlap_saved_s"]
+        case["async_lanes"] = last.get("async_lanes", "thread")
+        case["lane_busy_seconds"] = last.get("lane_busy_seconds", {})
+    return case
+
+
+def aggregate(directory: Path, output: Path) -> int:
+    """Merge ``BENCH_*.json`` artifacts into one sorted time series.
+
+    Points are ordered by their ``created`` timestamp (one CI point per
+    commit makes that commit order); the merged document carries the
+    per-case series plus min/median/max, and a suggested tightened
+    baseline (per-case median × 1.5) is printed for review.
+    """
+    import statistics
+
+    points = []
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"skipping {path.name}: {exc}", file=sys.stderr)
+            continue
+        if not isinstance(doc.get("cases"), dict):
+            print(f"skipping {path.name}: no cases", file=sys.stderr)
+            continue
+        points.append(doc)
+    if not points:
+        print(f"error: no readable BENCH_*.json under {directory}",
+              file=sys.stderr)
+        return 2
+    points.sort(key=lambda doc: doc.get("created", ""))
+
+    series: dict = {}
+    for doc in points:
+        for name, case in doc["cases"].items():
+            series.setdefault(name, []).append({
+                "created": doc.get("created"),
+                "context": doc.get("context"),
+                "wall_seconds": case["wall_seconds"],
+                **(
+                    {"overlap_saved_s": case["overlap_saved_s"]}
+                    if "overlap_saved_s" in case else {}
+                ),
+            })
+    cases = {}
+    suggested = {}
+    for name, entries in sorted(series.items()):
+        walls = [e["wall_seconds"] for e in entries]
+        cases[name] = {
+            "points": entries,
+            "wall_min": min(walls),
+            "wall_median": statistics.median(walls),
+            "wall_max": max(walls),
+        }
+        suggested[name] = {
+            "wall_seconds": round(statistics.median(walls) * 1.5, 3)
+        }
+    document = {
+        "schema": 1,
+        "kind": "trajectory",
+        "num_points": len(points),
+        "first_created": points[0].get("created"),
+        "last_created": points[-1].get("created"),
+        "cases": cases,
+    }
+    output.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"aggregated {len(points)} trajectory points into {output}")
+    print("suggested tightened baseline (median x 1.5; review the "
+          "series before copying into "
+          "benchmarks/baselines/bench_trajectory.json):")
+    print(json.dumps({"cases": suggested}, indent=2, sort_keys=True))
+    return 0
 
 
 def main(argv: list) -> int:
@@ -89,7 +207,8 @@ def main(argv: list) -> int:
                         help="label baked into the output filename and "
                              "document (e.g. 'ci', a git sha)")
     parser.add_argument("--output", default=None,
-                        help="output path (default BENCH_<context>.json)")
+                        help="output path (default BENCH_<context>.json; "
+                             "TRAJECTORY.json with --aggregate)")
     parser.add_argument(
         "--baseline",
         default=str(REPO_ROOT / "benchmarks" / "baselines"
@@ -100,10 +219,25 @@ def main(argv: list) -> int:
                              "baseline * this factor")
     parser.add_argument("--no-gate", action="store_true",
                         help="record only; never fail on regressions")
+    parser.add_argument("--async-lanes", default="thread",
+                        choices=["thread", "process"],
+                        help="codec lane for the async cases (process "
+                             "reruns the same matrix with lane-pool "
+                             "offload; pair with a distinct --context)")
+    parser.add_argument("--aggregate", default=None, metavar="DIR",
+                        help="merge BENCH_*.json files under DIR into a "
+                             "time-series document instead of running "
+                             "the benchmark")
     args = parser.parse_args(argv[1:])
 
+    if args.aggregate is not None:
+        return aggregate(
+            Path(args.aggregate),
+            Path(args.output or "TRAJECTORY.json"),
+        )
+
     results = {}
-    for name, extra in CASES.items():
+    for name, extra in case_matrix(args.async_lanes).items():
         print(f"running {name} ...", flush=True)
         try:
             results[name] = run_case(name, extra)
@@ -118,6 +252,7 @@ def main(argv: list) -> int:
         "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "async_lanes": args.async_lanes,
         "cases": results,
     }
     output = Path(args.output or f"BENCH_{args.context}.json")
