@@ -160,6 +160,15 @@ def default_registry() -> ScenarioRegistry:
         async_lanes="process", num_files=4,
     )
     registry.register(
+        "async-overlap-shm",
+        "async executor with process lanes and the shared-memory shard "
+        "plane at scale 12 over 4 shards: edge arrays cross lane "
+        "workers as ShardBuffer segments (zero-copy); K3 details add "
+        "handoff_mode and shm_bytes_saved",
+        scale=12, backend="scipy", execution="async",
+        async_lanes="process", num_files=4, shard_plane="shm",
+    )
+    registry.register(
         "streaming-bounded",
         "out-of-core Kernel 2 at scale 14 with a small pass-1 batch "
         "(memory bounded by O(batch + N))",

@@ -44,7 +44,7 @@ from repro.core.config import (
 )
 
 #: Current serialisation version (see :data:`_MIGRATIONS`).
-SPEC_VERSION = 3
+SPEC_VERSION = 4
 
 #: How a run may interact with the environment's artifact cache.
 CACHE_POLICIES = ("shared", "off")
@@ -78,12 +78,22 @@ def _migrate_v2(doc: Dict[str, object]) -> Dict[str, object]:
     return doc
 
 
+def _migrate_v3(doc: Dict[str, object]) -> Dict[str, object]:
+    """v3 → v4: ``shard_plane`` and ``cache_mmap`` were introduced
+    (defaults ``"pipe"``/``False`` match the old behaviour — no field
+    rewriting)."""
+    doc = dict(doc)
+    doc["spec_version"] = 4
+    return doc
+
+
 #: Upgrade hooks: ``_MIGRATIONS[v]`` rewrites a version-``v`` document
 #: to version ``v+1``.  Loading applies them in sequence up to
 #: :data:`SPEC_VERSION`.
 _MIGRATIONS: Dict[int, Callable[[Dict[str, object]], Dict[str, object]]] = {
     1: _migrate_v1,
     2: _migrate_v2,
+    3: _migrate_v3,
 }
 
 
@@ -142,6 +152,8 @@ class RunSpec:
     parallel_executor: str = "sim"
     streaming_batch_edges: int = DEFAULT_STREAMING_BATCH_EDGES
     async_lanes: str = "thread"
+    shard_plane: str = "pipe"
+    cache_mmap: bool = False
     data_dir: Optional[str] = None
     repeats: int = 1
     cache_policy: str = "shared"
@@ -218,6 +230,8 @@ class RunSpec:
             parallel_executor=self.parallel_executor,
             streaming_batch_edges=self.streaming_batch_edges,
             async_lanes=self.async_lanes,
+            shard_plane=self.shard_plane,
+            cache_mmap=self.cache_mmap,
         )
 
     @classmethod
@@ -254,6 +268,8 @@ class RunSpec:
             parallel_executor=config.parallel_executor,
             streaming_batch_edges=config.streaming_batch_edges,
             async_lanes=config.async_lanes,
+            shard_plane=config.shard_plane,
+            cache_mmap=config.cache_mmap,
             data_dir=str(config.data_dir) if config.data_dir else None,
             **api_fields,  # type: ignore[arg-type]
         )

@@ -100,6 +100,8 @@ _RUN_SPEC_ARGS = {
     "parallel_executor": "parallel_executor",
     "batch_edges": "streaming_batch_edges",
     "async_lanes": "async_lanes",
+    "shard_plane": "shard_plane",
+    "cache_mmap": "cache_mmap",
     "data_dir": "data_dir",
     "repeats": "repeats",
 }

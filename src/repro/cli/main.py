@@ -16,6 +16,7 @@ from repro.core.config import (
     EXECUTION_MODES,
     KernelName,
     PARALLEL_EXECUTORS,
+    SHARD_PLANES,
 )
 from repro.core.exceptions import ExecutorCapabilityError, PipelineError
 from repro.service.pool import WORKER_KINDS
@@ -123,6 +124,19 @@ def build_parser() -> argparse.ArgumentParser:
                           "offload them to lane worker processes "
                           "(process); results are bit-identical, K3 "
                           "details report per-lane busy time")
+    run.add_argument("--shard-plane", default="pipe",
+                     choices=list(SHARD_PLANES),
+                     help="for --async-lanes process: hand edge arrays "
+                          "to lane workers over their pipes (pipe) or "
+                          "through shared-memory ShardBuffer segments "
+                          "(shm, zero-copy; falls back to pipe with a "
+                          "warning where /dev/shm is unavailable); "
+                          "results are bit-identical, K3 details report "
+                          "handoff_mode and shm_bytes_saved")
+    run.add_argument("--cache-mmap", action="store_true",
+                     help="serve npy shard payloads from --cache-dir as "
+                          "read-only memory-mapped views so concurrent "
+                          "runs share one page-cache copy")
     run.add_argument("--repeats", type=int, default=1,
                      help="repeat the run; per-kernel records keep the "
                           "best time")

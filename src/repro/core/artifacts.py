@@ -249,8 +249,15 @@ class ArtifactCache:
     #: Artifact namespaces the cache knows how to enumerate.
     KINDS = ("k0", "k1", "k2")
 
-    def __init__(self, root: Path) -> None:
+    def __init__(self, root: Path, *, mmap: bool = False) -> None:
         self.root = Path(root)
+        #: Open cached ``npy`` datasets with memory-mapped shard reads
+        #: (``config.cache_mmap``): N concurrent workers on one host
+        #: then share one page-cache-resident copy of a warm entry
+        #: instead of N private decodes.  Views are read-only; the
+        #: shared-lock-for-the-run discipline below already guarantees
+        #: no eviction can unmap pages mid-read.
+        self.mmap = bool(mmap)
         if self.root.exists() and not self.root.is_dir():
             raise ValueError(
                 f"cache_dir {self.root} exists and is not a directory"
@@ -344,7 +351,7 @@ class ArtifactCache:
             # Evicted between publish and reopen (possible but absurd —
             # a prune racing a brand-new entry); the staging copy is
             # gone, so reopening the entry path is all we have.
-            return EdgeDataset.open(entry), details
+            return EdgeDataset.open(entry, mmap=self.mmap), details
         finally:
             if discard_staging:
                 shutil.rmtree(staging, ignore_errors=True)
@@ -403,7 +410,7 @@ class ArtifactCache:
         if not (entry / "manifest.json").exists():
             return None
         try:
-            dataset = EdgeDataset.open(entry)
+            dataset = EdgeDataset.open(entry, mmap=self.mmap)
         except (EdgeIOError, ValueError, KeyError):
             # Corruption the verifier detected (missing shard, size or
             # CRC mismatch, unparseable manifest).  Transient I/O

@@ -29,7 +29,16 @@ GIL-bound hot loop serial:
   genuinely overlaps the write of shard *i* and Kernel 2/3 compute
   instead of contending for the parent's GIL (the per-stage write
   chains that exist to serialise GIL-bound encodes are dropped: lane
-  workers encode independent shards concurrently).
+  workers encode independent shards concurrently);
+* with ``config.shard_plane="shm"`` on top of process lanes, the edge
+  arrays those codec tasks exchange ride the zero-copy shard plane
+  (:mod:`repro.core.shmplane`): Kernel 0/1 arrays live in
+  :class:`~repro.core.shmplane.ShardBuffer` segments, only segment
+  *names* cross the worker pipes, and the K1→K2 hand-off feeds Kernel 2
+  read-only views of the shared sort output.  Results are bit-identical
+  to the pipe plane; the bytes that skipped serialisation are reported
+  as ``shm_bytes_saved`` next to ``handoff_mode`` in the Kernel 3
+  details.
 
 **Timing attribution stays honest.**  Each kernel's reported ``seconds``
 is its *busy* time — the sum of time its tasks actually spent working,
@@ -58,7 +67,9 @@ overlap still applies.
 
 from __future__ import annotations
 
+import threading
 import time
+import weakref
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -70,6 +81,7 @@ from repro.core.executor import Executor, StageOutput
 from repro.core.lanes import DEFAULT_LANE_WORKERS, LaneTask, ProcessLanePool
 from repro.core.results import KernelResult, PipelineResult
 from repro.core.scheduler import ScheduleResult, SchedulerError, TaskGraph
+from repro.core.shmplane import ShardBuffer, resolve_payload_via
 from repro.core.stages import ARTIFACT_K1, ExecutionPlan, Stage, StageContext
 from repro.edgeio.dataset import (
     EdgeDataset,
@@ -84,6 +96,65 @@ from repro.edgeio.manifest import DatasetManifest
 #: write chain, a shard read chain, the K2 task and its two internal
 #: lanes) — more threads would only add GIL contention.
 DEFAULT_MAX_WORKERS = 4
+
+
+class ShmEdgePair(tuple):
+    """A ``(u, v)`` edge-array pair backed by one shared-memory segment.
+
+    Unpacks exactly like the plain tuples the pipe plane passes around
+    (``u, v = pair`` everywhere in the graph), but the arrays are
+    *read-only views* into a :class:`~repro.core.shmplane.ShardBuffer`
+    and the pair carries the buffer on ``.buffer`` so codec tasks can
+    ship its *name* instead of the bytes.  A ``weakref.finalize`` ties
+    the segment's lifetime to the pair: the moment the scheduler frees
+    the task result (last reader done), the segment is unlinked — no
+    reference cycles, no leak, and any still-live views keep their
+    mapping until they die (``ShardBuffer.release`` tolerates that).
+    """
+
+    def __new__(cls, u: np.ndarray, v: np.ndarray, buffer: ShardBuffer):
+        self = super().__new__(cls, (u, v))
+        self.buffer = buffer
+        # Tuple subclasses cannot be weak-referenced; anchor the
+        # finalizer on the u view instead.  It lives exactly as long as
+        # the pair's data is reachable (slices keep their base array
+        # alive), so the segment unlinks when the last consumer lets go.
+        weakref.finalize(u, buffer.release)
+        return self
+
+    @classmethod
+    def wrap(cls, u: np.ndarray, v: np.ndarray) -> "ShmEdgePair":
+        """Copy ``u``/``v`` into a fresh owned segment."""
+        buffer = ShardBuffer.create(u, v)
+        return cls(*buffer.arrays(), buffer)
+
+    @classmethod
+    def adopt(cls, name: str, stats: Optional["_ShmStats"] = None):
+        """Take ownership of a segment a lane worker exported to us."""
+        buffer = ShardBuffer.attach(name, owner=True)
+        if stats is not None:
+            stats.add(buffer.nbytes)
+        return cls(*buffer.arrays(), buffer)
+
+
+class _ShmStats:
+    """Thread-safe tally of payload bytes the shm plane kept off pipes.
+
+    Counted where serialisation would otherwise happen: each shm shard
+    *encode* adds its slice's payload bytes (the pickle the pipe plane
+    would have shipped to the worker), each shm shard *decode* adds the
+    adopted segment's payload bytes (the pickle the worker would have
+    shipped back).  In-parent hand-offs (K1 sort → K2 ingest) were
+    already zero-copy under the pipe plane and are not counted.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def add(self, nbytes: int) -> None:
+        with self._lock:
+            self.total += int(nbytes)
 
 
 class AsyncExecutor(Executor):
@@ -116,9 +187,19 @@ class AsyncExecutor(Executor):
         self, ctx: StageContext, result: PipelineResult, *, verify: bool
     ) -> None:
         codec_lane = self._codec_lane(ctx.config)
-        graph, artifact_tasks = self._build_graph(ctx, verify, codec_lane)
+        # Negotiate the shard plane before building the graph: the task
+        # bodies bake the decision in (shm only pays where the codec is
+        # lane-offloaded; otherwise nothing crosses a pipe to save).
+        payload_via = (
+            resolve_payload_via(ctx.config.shard_plane)
+            if codec_lane == "process" else "pipe"
+        )
+        shm_stats = _ShmStats()
+        graph, artifact_tasks = self._build_graph(
+            ctx, verify, codec_lane, payload_via, shm_stats
+        )
         lane_pool = (
-            ProcessLanePool(DEFAULT_LANE_WORKERS)
+            ProcessLanePool(DEFAULT_LANE_WORKERS, payload_via=payload_via)
             if codec_lane == "process" else None
         )
         if lane_pool is not None:
@@ -144,7 +225,9 @@ class AsyncExecutor(Executor):
         finally:
             if lane_pool is not None:
                 lane_pool.shutdown()
-        records = self._assemble(ctx, schedule, artifact_tasks)
+        records = self._assemble(
+            ctx, schedule, artifact_tasks, payload_via, shm_stats
+        )
         for _, kernel_result in records:
             result.kernels.append(kernel_result)
 
@@ -169,27 +252,41 @@ class AsyncExecutor(Executor):
     @staticmethod
     def _shard_write_fn(
         out_dir, index: int, source_task: str, config: PipelineConfig,
-        codec_lane: str,
+        codec_lane: str, payload_via: str = "pipe",
+        shm_stats: Optional[_ShmStats] = None,
     ):
         """Body of one shard-write task reading arrays from ``source_task``.
 
         The single source of truth for the codec write: slice the
         source arrays to this shard, then either write in-thread or
-        return the lane descriptor for the identical operation.
+        return the lane descriptor for the identical operation.  On the
+        shm plane the descriptor carries only the segment name and the
+        slice bounds — the worker maps the same pages the parent holds.
         """
         def write(results: Dict[str, object]):
-            u, v = results[source_task]
+            source = results[source_task]
+            u, v = source
             start, end = shard_slices(len(u), config.num_files)[index]
-            u_part, v_part = u[start:end], v[start:end]
             if codec_lane == "process":
+                if payload_via == "shm" and isinstance(source, ShmEdgePair):
+                    if shm_stats is not None:
+                        # 16 bytes/edge (two int64s) that would have
+                        # been pickled over the worker pipe.
+                        shm_stats.add((end - start) * 16)
+                    return LaneTask("encode-shard-shm", dict(
+                        directory=str(out_dir), index=index,
+                        shm=source.buffer.name, start=start, end=end,
+                        fmt=config.file_format,
+                        vertex_base=config.vertex_base,
+                    ))
                 return LaneTask("encode-shard", dict(
                     directory=str(out_dir), index=index,
-                    u=u_part, v=v_part,
+                    u=u[start:end], v=v[start:end],
                     fmt=config.file_format,
                     vertex_base=config.vertex_base,
                 ))
             return write_shard(
-                out_dir, index, u_part, v_part,
+                out_dir, index, u[start:end], v[start:end],
                 fmt=config.file_format, vertex_base=config.vertex_base,
             )
 
@@ -240,7 +337,8 @@ class AsyncExecutor(Executor):
     # Graph construction
     # ------------------------------------------------------------------
     def _build_graph(
-        self, ctx: StageContext, verify: bool, codec_lane: str = "thread"
+        self, ctx: StageContext, verify: bool, codec_lane: str = "thread",
+        payload_via: str = "pipe", shm_stats: Optional[_ShmStats] = None,
     ) -> Tuple[TaskGraph, Dict[str, str]]:
         """Expand the plan's stages into a task graph.
 
@@ -251,7 +349,9 @@ class AsyncExecutor(Executor):
         external sort reroutes Kernel 0/1 I/O; otherwise stages run as
         one task each, still scheduled as early as dependencies allow.
         ``codec_lane="process"`` marks the shard encode/decode tasks
-        for lane-pool dispatch (see :meth:`_codec_lane`).
+        for lane-pool dispatch (see :meth:`_codec_lane`);
+        ``payload_via="shm"`` additionally routes their edge arrays
+        through :class:`~repro.core.shmplane.ShardBuffer` segments.
 
         Contracts run inside each artifact task; a contract that reads
         an *earlier* stage's artifact is safe because every artifact
@@ -270,7 +370,8 @@ class AsyncExecutor(Executor):
             deps = tuple(artifact_tasks[key] for key in stage.requires)
             if stage.kernel is KernelName.K0_GENERATE and fine:
                 task, k0_write_tasks = self._expand_generate(
-                    graph, ctx, stage, verify, codec_lane
+                    graph, ctx, stage, verify, codec_lane, payload_via,
+                    shm_stats,
                 )
             elif (
                 stage.kernel is KernelName.K1_SORT
@@ -279,7 +380,7 @@ class AsyncExecutor(Executor):
             ):
                 task, k1_sort_task = self._expand_sort(
                     graph, ctx, stage, k0_write_tasks, deps, verify,
-                    codec_lane,
+                    codec_lane, payload_via, shm_stats,
                 )
             elif stage.kernel is KernelName.K2_FILTER:
                 task = self._expand_filter(
@@ -311,7 +412,8 @@ class AsyncExecutor(Executor):
 
     def _expand_generate(
         self, graph: TaskGraph, ctx: StageContext, stage: Stage, verify: bool,
-        codec_lane: str = "thread",
+        codec_lane: str = "thread", payload_via: str = "pipe",
+        shm_stats: Optional[_ShmStats] = None,
     ) -> Tuple[str, List[str]]:
         """Kernel 0 as generate → shard writes → manifest.
 
@@ -332,7 +434,13 @@ class AsyncExecutor(Executor):
             generator = get_generator(config.generator)
             u, v = generator(config.scale, config.edge_factor, seed=config.seed)
             out_dir.mkdir(parents=True, exist_ok=True)
-            return np.asarray(u, dtype=np.int64), np.asarray(v, dtype=np.int64)
+            u = np.asarray(u, dtype=np.int64)
+            v = np.asarray(v, dtype=np.int64)
+            if payload_via == "shm":
+                # One segment for the whole stage output; every shard
+                # write ships only (name, start, end) over its pipe.
+                return ShmEdgePair.wrap(u, v)
+            return u, v
 
         gen_task = graph.add("k0:generate", generate, group=group)
 
@@ -345,7 +453,7 @@ class AsyncExecutor(Executor):
             previous = graph.add(
                 f"k0:write:{index}",
                 self._shard_write_fn(out_dir, index, gen_task, config,
-                                     codec_lane),
+                                     codec_lane, payload_via, shm_stats),
                 deps=self._chain_deps(codec_lane, gen_task, previous),
                 group=group, lane=codec_lane,
             )
@@ -389,6 +497,8 @@ class AsyncExecutor(Executor):
         artifact_deps: Tuple[str, ...],
         verify: bool,
         codec_lane: str = "thread",
+        payload_via: str = "pipe",
+        shm_stats: Optional[_ShmStats] = None,
     ) -> Tuple[str, str]:
         """Kernel 1 as shard reads → sort → shard writes.
 
@@ -413,6 +523,20 @@ class AsyncExecutor(Executor):
             def read(results: Dict[str, object], index: int = index):
                 path = src_dir / shard_file_name(index, config.file_format)
                 if codec_lane == "process":
+                    if payload_via == "shm":
+                        # The worker decodes into a fresh segment and
+                        # exports it; only the name crosses the pipe
+                        # back, and the parent-side post hook adopts
+                        # ownership (the scheduler frees the result →
+                        # the segment unlinks).
+                        return LaneTask(
+                            "decode-shard-shm",
+                            dict(path=str(path), fmt=config.file_format,
+                                 vertex_base=config.vertex_base),
+                            post=lambda name: ShmEdgePair.adopt(
+                                name, shm_stats
+                            ),
+                        )
                     return LaneTask("decode-shard", dict(
                         path=str(path), fmt=config.file_format,
                         vertex_base=config.vertex_base,
@@ -433,12 +557,17 @@ class AsyncExecutor(Executor):
             u = np.concatenate([results[name][0] for name in read_tasks])
             v = np.concatenate([results[name][1] for name in read_tasks])
             out_dir.mkdir(parents=True, exist_ok=True)
-            return sort_edges(
+            sorted_u, sorted_v = sort_edges(
                 u, v,
                 algorithm=config.sort_algorithm,
                 num_vertices=config.num_vertices,
                 by_end_vertex=config.sort_by_end_vertex,
             )
+            if payload_via == "shm":
+                # The K1 shard writes *and* the K1→K2 hand-off all read
+                # from this one segment (zero-copy fan-out).
+                return ShmEdgePair.wrap(sorted_u, sorted_v)
+            return sorted_u, sorted_v
 
         sort_task = graph.add(
             "k1:sort", sort, deps=tuple(read_tasks), group=group
@@ -450,7 +579,7 @@ class AsyncExecutor(Executor):
             previous = graph.add(
                 f"k1:write:{index}",
                 self._shard_write_fn(out_dir, index, sort_task, config,
-                                     codec_lane),
+                                     codec_lane, payload_via, shm_stats),
                 deps=self._chain_deps(codec_lane, sort_task, previous),
                 group=group, lane=codec_lane,
             )
@@ -599,6 +728,8 @@ class AsyncExecutor(Executor):
         ctx: StageContext,
         schedule: ScheduleResult,
         artifact_tasks: Dict[str, str],
+        payload_via: str = "pipe",
+        shm_stats: Optional[_ShmStats] = None,
     ) -> List[Tuple[Stage, KernelResult]]:
         """Turn the schedule into per-kernel results in plan order.
 
@@ -654,6 +785,15 @@ class AsyncExecutor(Executor):
                 details["async_lanes"] = config.async_lanes
                 details["codec_lane"] = codec_lane
                 details["lane_busy_seconds"] = schedule.lane_busy_seconds()
+                # Shard-plane attribution: the configured knob, the
+                # plane the hand-off actually used (pipe when shm was
+                # unavailable or the codec stayed on threads), and the
+                # payload bytes shm kept off the worker pipes.
+                details["shard_plane"] = config.shard_plane
+                details["handoff_mode"] = payload_via
+                details["shm_bytes_saved"] = (
+                    shm_stats.total if shm_stats is not None else 0
+                )
             edges = int(
                 details.get("edges_processed", stage.nominal_edges(config))
             )

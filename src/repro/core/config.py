@@ -19,6 +19,7 @@ from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro._util import check_in_range, check_nonneg_int, check_positive_int
+from repro.core.shmplane import SHARD_PLANES
 from repro.generators.base import BYTES_PER_EDGE, GeneratorSpec
 
 
@@ -53,6 +54,11 @@ DEFAULT_STREAMING_BATCH_EDGES = 1 << 18
 #: "thread" keeps TSV encode/decode on the scheduler's thread pool,
 #: "process" offloads them to a :class:`repro.core.lanes.ProcessLanePool`.
 ASYNC_LANES = ("thread", "process")
+# Shard hand-off planes for process lanes (config and CLI): "pipe"
+# pickles arrays over the worker pipes, "shm" shares them through
+# ShardBuffer segments (zero-copy; only segment names cross the pipe).
+# SHARD_PLANES itself lives in repro.core.shmplane (the single source
+# of truth) and is re-exported via the import at the top of this module.
 
 
 @dataclass(frozen=True)
@@ -125,6 +131,20 @@ class PipelineConfig:
         ``"process"`` (offloaded to lane worker processes so shard
         encodes/decodes overlap compute instead of contending for the
         GIL).  Results are bit-identical either way.
+    shard_plane:
+        How edge arrays cross the lane-worker boundary when process
+        lanes are active: ``"pipe"`` (pickled over the worker pipes,
+        the default) or ``"shm"`` (shared-memory
+        :class:`~repro.core.shmplane.ShardBuffer` segments; only
+        segment names cross the pipe).  Degrades to ``"pipe"`` with a
+        warning when shared memory is unavailable; results are
+        bit-identical either way.
+    cache_mmap:
+        Serve ``.npy`` shard payloads from the artifact cache as
+        read-only memory-mapped views instead of private copies, so
+        concurrent readers on one host share one page-cache-resident
+        warm cache.  Views are copy-on-read at mutation seams (see
+        ARCHITECTURE.md's shard-plane section).
     """
 
     scale: int
@@ -150,6 +170,8 @@ class PipelineConfig:
     parallel_executor: str = "sim"
     streaming_batch_edges: int = DEFAULT_STREAMING_BATCH_EDGES
     async_lanes: str = "thread"
+    shard_plane: str = "pipe"
+    cache_mmap: bool = False
 
     def __post_init__(self) -> None:
         check_positive_int("scale", self.scale)
@@ -186,6 +208,11 @@ class PipelineConfig:
             raise ValueError(
                 f"async_lanes must be one of {ASYNC_LANES}, "
                 f"got {self.async_lanes!r}"
+            )
+        if self.shard_plane not in SHARD_PLANES:
+            raise ValueError(
+                f"shard_plane must be one of {SHARD_PLANES}, "
+                f"got {self.shard_plane!r}"
             )
         if self.data_dir is not None:
             object.__setattr__(self, "data_dir", Path(self.data_dir))

@@ -98,11 +98,57 @@ def _op_decode_shard(payload: Mapping[str, object]):
     )
 
 
+def _op_encode_shard_shm(payload: Mapping[str, object]):
+    """Zero-copy :func:`_op_encode_shard`: slice the source arrays out
+    of a shared-memory :class:`~repro.core.shmplane.ShardBuffer` named
+    in the payload instead of receiving them over the pipe.  Returns
+    the same ShardInfo, byte-identical file."""
+    from repro.core.shmplane import ShardBuffer
+    from repro.edgeio.dataset import write_shard
+
+    directory = Path(payload["directory"])
+    directory.mkdir(parents=True, exist_ok=True)
+    buffer = ShardBuffer.attach(payload["shm"])
+    try:
+        u, v = buffer.arrays()
+        start, end = payload["start"], payload["end"]
+        info = write_shard(
+            directory,
+            payload["index"],
+            u[start:end],
+            v[start:end],
+            fmt=payload["fmt"],
+            vertex_base=payload["vertex_base"],
+        )
+        del u, v  # drop the views so close() can unmap now, not later
+        return info
+    finally:
+        buffer.close()
+
+
+def _op_decode_shard_shm(payload: Mapping[str, object]):
+    """Zero-copy :func:`_op_decode_shard`: decode into a fresh
+    shared-memory segment and return its *name* (ownership transfers
+    to the attaching parent via
+    :meth:`~repro.core.shmplane.ShardBuffer.export`)."""
+    from repro.core.shmplane import ShardBuffer
+    from repro.edgeio.dataset import read_shard_file
+
+    u, v = read_shard_file(
+        Path(payload["path"]),
+        fmt=payload["fmt"],
+        vertex_base=payload["vertex_base"],
+    )
+    return ShardBuffer.create(u, v).export()
+
+
 #: Operations a lane worker can execute.  Module-level (not captured
 #: closures) so ``spawn``-started workers resolve them by name.
 LANE_OPS: Dict[str, Callable[[Mapping[str, object]], object]] = {
     "encode-shard": _op_encode_shard,
     "decode-shard": _op_decode_shard,
+    "encode-shard-shm": _op_encode_shard_shm,
+    "decode-shard-shm": _op_decode_shard_shm,
 }
 
 
@@ -113,10 +159,17 @@ class LaneTask:
     Returned by a ``lane="process"`` task's body; the scheduler ships
     it to the lane pool (or runs it in-place via :func:`run_lane_op`
     when no pool is attached, e.g. ``npy`` runs or debugging).
+
+    ``post`` is a **parent-only** hook: the scheduler applies it to the
+    op's raw result after dispatch (e.g. attaching a shared-memory
+    segment a ``decode-shard-shm`` op created).  It never crosses the
+    pipe — only ``op`` and ``payload`` do — so it may close over live
+    pipeline state.
     """
 
     op: str
     payload: Mapping[str, object]
+    post: Optional[Callable[[object], object]] = None
 
 
 def run_lane_op(op: str, payload: Mapping[str, object]) -> object:
@@ -145,10 +198,11 @@ def lane_worker_main(conn) -> None:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except (ValueError, OSError):  # pragma: no cover - non-main thread
         pass
-    # Warm the ops' import graph (numpy and the edgeio stack) before
-    # serving: a ``spawn``-started interpreter would otherwise pay it
-    # inside the first op, whose timing the scheduler attributes to a
-    # kernel.  ``prestart`` pings block until this completes.
+    # Warm the ops' import graph (numpy, the edgeio stack, and the shm
+    # plane) before serving: a ``spawn``-started interpreter would
+    # otherwise pay it inside the first op, whose timing the scheduler
+    # attributes to a kernel.  Warm-up pings block until this completes.
+    import repro.core.shmplane  # noqa: F401  (side-effect import)
     import repro.edgeio.dataset  # noqa: F401  (side-effect import)
 
     while True:
@@ -267,11 +321,22 @@ class ProcessLanePool:
         scheduler that drives this pool is itself threaded.  Workers
         are long-lived and spawned lazily on first use, so interpreter
         start-up is paid once per worker, not per shard.
+    payload_via:
+        How shard payloads reach the workers: ``"pipe"`` (pickled
+        arrays over the worker pipe, the default) or ``"shm"``
+        (shared-memory :class:`~repro.core.shmplane.ShardBuffer`
+        segments; only names cross the pipe).  The request is
+        *negotiated* — ``"shm"`` silently degrades to ``"pipe"`` (one
+        warning per process) when no segment can be created, e.g. a
+        permissions-restricted ``/dev/shm`` — and the resolved value is
+        exposed as :attr:`payload_via` so graph builders pick the
+        matching ops.  Results are bit-identical either way.
     """
 
     def __init__(
         self, workers: int = DEFAULT_LANE_WORKERS, *,
         start_method: Optional[str] = None,
+        payload_via: str = "pipe",
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -280,6 +345,9 @@ class ProcessLanePool:
             start_method = (
                 "forkserver" if "forkserver" in available else "spawn"
             )
+        from repro.core.shmplane import resolve_payload_via
+
+        self.payload_via = resolve_payload_via(payload_via)
         self.workers = workers
         self._ctx = multiprocessing.get_context(start_method)
         self._lock = threading.Lock()
@@ -324,6 +392,19 @@ class ProcessLanePool:
                 self._idle.put(None)
                 raise LaneWorkerCrashError("lane pool is terminated")
             self._handles.append(fresh)
+        # Warm the fresh worker before handing it out: a lazily (re)
+        # spawned worker that went straight to an op would pay its
+        # interpreter + numpy import cost inside that op's measured
+        # busy time — cold-start cost billed to a kernel.  The ping
+        # blocks until the worker loop serves (imports done), and this
+        # whole wait sits inside the checkout window, which run_timed
+        # already excludes from busy attribution.
+        try:
+            fresh.ping()
+        except BaseException:
+            # Token back as a lazy-respawn None; broken worker culled.
+            self._checkin(fresh, dead=True)
+            raise
         return fresh
 
     def _checkin(self, handle: _LaneWorkerHandle, *, dead: bool = False) -> None:
@@ -427,15 +508,11 @@ class ProcessLanePool:
         from concurrent.futures import ThreadPoolExecutor
 
         def spawn_and_warm(_index: int) -> None:
-            handle = self._checkout()
-            try:
-                handle.ping()
-            except BaseException:
-                # Token goes back (as a lazy-respawn None); the broken
-                # worker is culled.
-                self._checkin(handle, dead=True)
-                raise
-            self._checkin(handle)
+            # _checkout pings the fresh worker before returning it (a
+            # warm-up failure culls the worker and preserves its slot
+            # token), so spawning and checking straight back in is the
+            # entire warm-up.
+            self._checkin(self._checkout())
 
         with ThreadPoolExecutor(max_workers=self.workers) as spawner:
             futures = [

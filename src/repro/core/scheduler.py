@@ -278,10 +278,16 @@ class TaskGraph:
                             f"process-lane task {spec.name!r} must return "
                             f"a LaneTask descriptor, got {type(value).__name__}"
                         )
+                    task = value
                     if lane_pool is not None:
-                        value, queue_wait = lane_pool.run_task_timed(value)
+                        value, queue_wait = lane_pool.run_task_timed(task)
                     else:
-                        value = run_lane_op(value.op, value.payload)
+                        value = run_lane_op(task.op, task.payload)
+                    if task.post is not None:
+                        # Parent-side hook (e.g. adopt a shared-memory
+                        # segment the op created); applied identically
+                        # on the pool and in-place paths.
+                        value = task.post(value)
             finally:
                 finished = time.perf_counter() - clock0
                 result.timings[spec.name] = TaskTiming(

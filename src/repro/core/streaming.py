@@ -31,6 +31,8 @@ from typing import Dict, Iterable, Iterator, Optional, Tuple
 import numpy as np
 import scipy.sparse as sp
 
+from repro.core.shmplane import mapped_view
+
 from repro._util import check_positive_int
 from repro.core.config import DEFAULT_STREAMING_BATCH_EDGES
 from repro.edgeio.dataset import EdgeDataset
@@ -411,26 +413,31 @@ def streaming_kernel2(
         kept_cols = []
         kept_vals = []
         if triples:
-            mm = np.memmap(spill_path, dtype=np.float64, mode="r",
-                           shape=(triples, 3))
-            cursor = 0
-            while cursor < triples:
-                end = min(cursor + batch_edges, triples)
-                block = np.asarray(mm[cursor:end])
-                cursor = end
-                rows = block[:, 0].astype(np.int64)
-                cols = block[:, 1].astype(np.int64)
-                vals = block[:, 2]
-                keep = ~eliminate[cols]
-                rows, cols, vals = rows[keep], cols[keep], vals[keep]
-                if len(rows) == 0:
-                    continue
-                # Rows are contiguous in the stream; row degrees can be
-                # accumulated into indptr counts directly.
-                np.add.at(indptr, rows + 1, 1)
-                kept_cols.append(cols)
-                kept_vals.append(vals)
-            del mm
+            with mapped_view(
+                spill_path, np.float64, (triples, 3)
+            ) as mm:
+                cursor = 0
+                while cursor < triples:
+                    end = min(cursor + batch_edges, triples)
+                    # Force-copy the block out of the mapping: vals
+                    # slices survive in kept_vals past the unmap below
+                    # (the spill file is deleted right after this
+                    # pass, which strict-unlink filesystems refuse
+                    # while mapped).
+                    block = np.array(mm[cursor:end])
+                    cursor = end
+                    rows = block[:, 0].astype(np.int64)
+                    cols = block[:, 1].astype(np.int64)
+                    vals = block[:, 2]
+                    keep = ~eliminate[cols]
+                    rows, cols, vals = rows[keep], cols[keep], vals[keep]
+                    if len(rows) == 0:
+                        continue
+                    # Rows are contiguous in the stream; row degrees
+                    # can be accumulated into indptr counts directly.
+                    np.add.at(indptr, rows + 1, 1)
+                    kept_cols.append(cols)
+                    kept_vals.append(vals)
 
         col_idx = (np.concatenate(kept_cols) if kept_cols
                    else np.empty(0, dtype=np.int64))

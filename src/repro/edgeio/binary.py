@@ -37,8 +37,20 @@ def write_binary_shard(path: Path, u: np.ndarray, v: np.ndarray) -> int:
     return path.stat().st_size
 
 
-def read_binary_shard(path: Path) -> Tuple[np.ndarray, np.ndarray]:
+def read_binary_shard(
+    path: Path, *, mmap: bool = False
+) -> Tuple[np.ndarray, np.ndarray]:
     """Read one binary shard back into ``(u, v)``.
+
+    Parameters
+    ----------
+    mmap:
+        Memory-map the payload instead of reading it: the returned
+        columns are **read-only strided views** over the OS page cache,
+        so concurrent readers of one file share physical pages instead
+        of each holding a private copy.  Consumers that need to mutate
+        (or need contiguity) must ``.copy()`` — the copy-on-write seam
+        of the zero-copy shard plane (ARCHITECTURE.md).
 
     Raises
     ------
@@ -47,7 +59,9 @@ def read_binary_shard(path: Path) -> Tuple[np.ndarray, np.ndarray]:
     """
     path = Path(path)
     try:
-        arr = np.load(path, allow_pickle=False)
+        arr = np.load(
+            path, mmap_mode="r" if mmap else None, allow_pickle=False
+        )
     except (ValueError, OSError) as exc:
         raise CorruptEdgeFileError(f"cannot read binary shard {path}: {exc}") from exc
     if arr.ndim != 2 or arr.shape[1] != 2:
@@ -59,4 +73,10 @@ def read_binary_shard(path: Path) -> Tuple[np.ndarray, np.ndarray]:
             f"binary shard {path} has dtype {arr.dtype}, expected integer"
         )
     arr = arr.astype(np.int64, copy=False)
+    if mmap and isinstance(arr, np.memmap):
+        # astype was a no-op view: hand out the mapped columns as-is
+        # (an ascontiguousarray here would silently defeat the point
+        # by materialising private copies).  A dtype that *did* need
+        # converting fell through to a private array above.
+        return arr[:, 0], arr[:, 1]
     return np.ascontiguousarray(arr[:, 0]), np.ascontiguousarray(arr[:, 1])

@@ -157,9 +157,15 @@ class EdgeDataset:
     :meth:`open` to produce one.
     """
 
-    def __init__(self, directory: Path, manifest: DatasetManifest) -> None:
+    def __init__(
+        self, directory: Path, manifest: DatasetManifest,
+        *, mmap: bool = False,
+    ) -> None:
         self.directory = Path(directory)
         self.manifest = manifest
+        #: Serve ``npy`` shard payloads as read-only memory-mapped
+        #: views (text formats always decode into private arrays).
+        self.mmap = bool(mmap)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -295,7 +301,9 @@ class EdgeDataset:
     # Reading
     # ------------------------------------------------------------------
     @classmethod
-    def open(cls, directory: Path, *, verify: bool = True) -> "EdgeDataset":
+    def open(
+        cls, directory: Path, *, verify: bool = True, mmap: bool = False
+    ) -> "EdgeDataset":
         """Open an existing dataset.
 
         Parameters
@@ -304,12 +312,16 @@ class EdgeDataset:
             Dataset directory containing ``manifest.json``.
         verify:
             Check shard existence and byte sizes against the manifest.
+        mmap:
+            Serve ``npy`` shard payloads as read-only memory-mapped
+            views (see :func:`repro.edgeio.binary.read_binary_shard`);
+            ignored for text formats.
         """
         directory = Path(directory)
         manifest = DatasetManifest.load(directory)
         if verify:
             manifest.verify_against(directory)
-        return cls(directory, manifest)
+        return cls(directory, manifest, mmap=mmap)
 
     def read_shard(self, index: int, *, verify_checksum: bool = False) -> Tuple[np.ndarray, np.ndarray]:
         """Read one shard into ``(u, v)`` (0-based labels).
@@ -342,7 +354,7 @@ class EdgeDataset:
                     ) from exc
             u, v = decode_edges(payload, vertex_base=self.manifest.vertex_base)
         else:
-            u, v = read_binary_shard(path)
+            u, v = read_binary_shard(path, mmap=self.mmap)
         if len(u) != info.num_edges:
             raise CorruptEdgeFileError(
                 f"{path}: decoded {len(u)} edges, manifest says {info.num_edges}"

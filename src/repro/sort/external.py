@@ -20,6 +20,7 @@ regardless of dataset size.
 
 from __future__ import annotations
 
+import contextlib
 import heapq
 import shutil
 import tempfile
@@ -30,6 +31,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro._util import check_positive_int
+from repro.core.shmplane import mapped_view
 from repro.edgeio.dataset import EdgeDataset
 from repro.sort.inmemory import sort_edges
 
@@ -113,9 +115,10 @@ class _RunReader:
         self.run = run
         self.block_edges = block_edges
         self.lex_mult = lex_mult
+        self._stack = contextlib.ExitStack()
         if run.num_edges:
-            self._mm = np.memmap(
-                run.path, dtype=np.int64, mode="r", shape=(run.num_edges, 2)
+            self._mm = self._stack.enter_context(
+                mapped_view(run.path, np.int64, (run.num_edges, 2))
             )
         else:
             self._mm = np.empty((0, 2), dtype=np.int64)
@@ -123,6 +126,17 @@ class _RunReader:
         self.buf_u = np.empty(0, dtype=np.int64)
         self.buf_v = np.empty(0, dtype=np.int64)
         self.buf_key = np.empty(0, dtype=np.int64)
+
+    def close(self) -> None:
+        """Unmap the run file *now* — not at garbage collection.
+
+        The merge deletes run files as soon as it finishes with them;
+        under Windows-style strict unlink semantics that fails while a
+        mapping is open.  ``refill`` copies every block out of the map,
+        so nothing dangles.
+        """
+        self._mm = np.empty((0, 2), dtype=np.int64)
+        self._stack.close()
 
     @property
     def exhausted(self) -> bool:
@@ -167,30 +181,37 @@ def _merge_runs(
     non-decreasing key order, so their concatenation is globally sorted.
     """
     readers = [r.open_reader(block_edges, lex_mult) for r in runs]
-    while True:
-        active = []
+    try:
+        while True:
+            active = []
+            for reader in readers:
+                reader.refill()
+                if len(reader.buf_u):
+                    active.append(reader)
+            if not active:
+                break
+            # Safe boundary: smallest of the per-reader buffered key
+            # maxima.
+            boundary = min(int(r.buf_key[-1]) for r in active)
+            parts_u: List[np.ndarray] = []
+            parts_v: List[np.ndarray] = []
+            parts_key: List[np.ndarray] = []
+            for reader in active:
+                pu, pv, pk = reader.take_upto(boundary)
+                if len(pu):
+                    parts_u.append(pu)
+                    parts_v.append(pv)
+                    parts_key.append(pk)
+            cat_u = np.concatenate(parts_u)
+            cat_v = np.concatenate(parts_v)
+            cat_key = np.concatenate(parts_key)
+            order = np.argsort(cat_key, kind="stable")
+            emit(cat_u[order], cat_v[order])
+    finally:
+        # Unmap before the caller deletes the run files (strict-unlink
+        # filesystems refuse to remove a mapped file).
         for reader in readers:
-            reader.refill()
-            if len(reader.buf_u):
-                active.append(reader)
-        if not active:
-            break
-        # Safe boundary: smallest of the per-reader buffered key maxima.
-        boundary = min(int(r.buf_key[-1]) for r in active)
-        parts_u: List[np.ndarray] = []
-        parts_v: List[np.ndarray] = []
-        parts_key: List[np.ndarray] = []
-        for reader in active:
-            pu, pv, pk = reader.take_upto(boundary)
-            if len(pu):
-                parts_u.append(pu)
-                parts_v.append(pv)
-                parts_key.append(pk)
-        cat_u = np.concatenate(parts_u)
-        cat_v = np.concatenate(parts_v)
-        cat_key = np.concatenate(parts_key)
-        order = np.argsort(cat_key, kind="stable")
-        emit(cat_u[order], cat_v[order])
+            reader.close()
 
 
 def _merge_to_run(

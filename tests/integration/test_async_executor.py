@@ -303,6 +303,118 @@ class TestProcessLanes:
         assert result.validation["passed"]
 
 
+class TestShardPlane:
+    """``shard_plane="shm"``: same bits over shared-memory hand-off."""
+
+    def test_bit_identical_across_planes(self):
+        serial = run_pipeline(_config("scipy", "serial"))
+        pipe = run_pipeline(
+            _config("scipy", "async", async_lanes="process")
+        )
+        shm = run_pipeline(
+            _config("scipy", "async", async_lanes="process",
+                    shard_plane="shm")
+        )
+        np.testing.assert_array_equal(pipe.rank, serial.rank)
+        np.testing.assert_array_equal(shm.rank, serial.rank)
+
+    def test_k3_details_report_the_handoff(self):
+        from repro.core.shmplane import shm_available
+
+        result = run_pipeline(
+            _config("scipy", "async", async_lanes="process",
+                    shard_plane="shm")
+        )
+        details = result.kernel(KernelName.K3_PAGERANK).details
+        assert details["shard_plane"] == "shm"
+        if shm_available():
+            assert details["handoff_mode"] == "shm"
+            assert details["shm_bytes_saved"] > 0
+        else:  # restricted /dev/shm: negotiation degraded, run still fine
+            assert details["handoff_mode"] == "pipe"
+            assert details["shm_bytes_saved"] == 0
+
+    def test_pipe_plane_reports_zero_saved(self):
+        result = run_pipeline(
+            _config("scipy", "async", async_lanes="process")
+        )
+        details = result.kernel(KernelName.K3_PAGERANK).details
+        assert details["shard_plane"] == "pipe"
+        assert details["handoff_mode"] == "pipe"
+        assert details["shm_bytes_saved"] == 0
+
+    def test_thread_lanes_stay_on_pipe(self):
+        # In-process hand-off is already zero-copy; the knob must not
+        # spin up segments for nothing.
+        result = run_pipeline(_config("scipy", "async", shard_plane="shm"))
+        details = result.kernel(KernelName.K3_PAGERANK).details
+        assert details["shard_plane"] == "shm"
+        assert details["handoff_mode"] == "pipe"
+        assert details["shm_bytes_saved"] == 0
+
+    def test_mmap_cache_reads_bit_identical(self, tmp_path):
+        cache = tmp_path / "c"
+        cold = run_pipeline(_config("scipy", "async", cache_dir=cache))
+        warm = run_pipeline(
+            _config("scipy", "async", cache_dir=cache, cache_mmap=True)
+        )
+        assert (warm.kernel(KernelName.K0_GENERATE)
+                .details["artifact_cache"] == "hit")
+        np.testing.assert_array_equal(warm.rank, cold.rank)
+
+    def test_mmap_cache_with_shm_plane(self, tmp_path):
+        # Both knobs together: mmap reads reroute K0/K1 coarse, so the
+        # lane pool never spins up, and the ranks still match serial.
+        cache = tmp_path / "c"
+        serial = run_pipeline(_config("scipy", "serial"))
+        result = run_pipeline(
+            _config("scipy", "async", async_lanes="process",
+                    shard_plane="shm", cache_dir=cache, cache_mmap=True)
+        )
+        np.testing.assert_array_equal(result.rank, serial.rank)
+
+    def test_no_leaked_segments_after_shm_runs(self):
+        # Must run after the shm cases above (pytest preserves file
+        # order): every segment they created is released by now.
+        import gc
+        import glob
+        import os
+
+        gc.collect()
+        from repro.core.shmplane import outstanding_segments
+
+        assert outstanding_segments() == ()
+        if os.path.isdir("/dev/shm"):
+            mine = glob.glob(f"/dev/shm/psm_repro_{os.getpid()}_*")
+            assert mine == [], f"leaked segments: {mine}"
+
+
+@pytest.mark.skipif(
+    "REPRO_PERF_TESTS" not in __import__("os").environ,
+    reason="perf comparison needs a multi-core runner; set "
+           "REPRO_PERF_TESTS=1 (CI async leg does)",
+)
+class TestShardPlanePerf:
+    def test_shm_wall_no_worse_than_pipe_at_scale_16(self):
+        from repro.core.shmplane import shm_available
+
+        if not shm_available():
+            pytest.skip("host cannot create shared-memory segments")
+        spec = dict(
+            scale=16, seed=1, backend="scipy", iterations=20,
+            num_files=4, execution="async", async_lanes="process",
+        )
+        pipe = run_pipeline(PipelineConfig(**spec))
+        shm = run_pipeline(PipelineConfig(shard_plane="shm", **spec))
+        np.testing.assert_array_equal(shm.rank, pipe.rank)
+        details = shm.kernel(KernelName.K3_PAGERANK).details
+        assert details["handoff_mode"] == "shm"
+        assert details["shm_bytes_saved"] > 0
+        # The acceptance bar: zero-copy hand-off must not cost wall
+        # time (10% headroom for runner jitter on "no worse").
+        assert shm.wall_seconds <= pipe.wall_seconds * 1.10
+
+
 @pytest.mark.skipif(
     "REPRO_PERF_TESTS" not in __import__("os").environ,
     reason="perf comparison needs a multi-core runner; set "

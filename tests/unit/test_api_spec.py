@@ -29,7 +29,8 @@ class TestRunSpecRoundTrip:
             sort_by_end_vertex=True, external_sort=True,
             formula="paper-body", execution="parallel", parallel_ranks=3,
             parallel_executor="mp", streaming_batch_edges=1 << 10,
-            async_lanes="process", data_dir="/tmp/somewhere", repeats=2,
+            async_lanes="process", shard_plane="shm", cache_mmap=True,
+            data_dir="/tmp/somewhere", repeats=2,
             cache_policy="off", validation="full",
         )
         assert RunSpec.from_json(spec.to_json()) == spec
@@ -84,6 +85,27 @@ class TestRunSpecVersioning:
         assert spec.validation == "full"
         assert spec.async_lanes == "thread"
 
+    def test_v3_document_migrates(self):
+        # v3 predates the shard plane and mmap cache reads; the
+        # migration only restamps — both defaults ("pipe", off)
+        # reproduce the old hand-off behaviour exactly.
+        spec = RunSpec.from_dict({
+            "scale": 6, "execution": "async",
+            "async_lanes": "process", "spec_version": 3,
+        })
+        assert spec.spec_version == SPEC_VERSION
+        assert spec.async_lanes == "process"
+        assert spec.shard_plane == "pipe"
+        assert spec.cache_mmap is False
+
+    def test_v1_chains_to_current(self):
+        spec = RunSpec.from_dict(
+            {"scale": 6, "validate": True, "spec_version": 1}
+        )
+        assert spec.spec_version == SPEC_VERSION
+        assert spec.shard_plane == "pipe"
+        assert spec.cache_mmap is False
+
     def test_constructor_refuses_stale_version(self):
         with pytest.raises(ValueError, match="migrated"):
             RunSpec(scale=6, spec_version=1)
@@ -135,6 +157,21 @@ class TestConfigBridge:
         config = spec.to_config()
         assert config.async_lanes == "process"
         assert RunSpec.from_config(config).async_lanes == "process"
+
+    def test_shard_plane_reaches_config_and_back(self):
+        spec = RunSpec(scale=6, execution="async",
+                       async_lanes="process", shard_plane="shm",
+                       cache_mmap=True)
+        config = spec.to_config()
+        assert config.shard_plane == "shm"
+        assert config.cache_mmap is True
+        back = RunSpec.from_config(config)
+        assert back.shard_plane == "shm"
+        assert back.cache_mmap is True
+
+    def test_invalid_shard_plane_rejected(self):
+        with pytest.raises(ValueError, match="shard_plane"):
+            RunSpec(scale=6, shard_plane="udp")
 
     def test_verify_property(self):
         assert RunSpec(scale=6, validation="contracts").verify

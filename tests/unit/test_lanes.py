@@ -20,7 +20,13 @@ from repro.core.lanes import (
     RemoteLaneError,
     run_lane_op,
 )
+from repro.core.shmplane import ShardBuffer, shm_available
 from repro.edgeio.dataset import read_shard_file, write_shard
+
+needs_shm = pytest.mark.skipif(
+    not shm_available(),
+    reason="host cannot create shared-memory segments",
+)
 
 
 def _edges(n=200, seed=3):
@@ -79,6 +85,127 @@ class TestLaneOps:
         assert np.array_equal(lane_v, ref_v)
 
 
+@needs_shm
+class TestShmLaneOps:
+    """The zero-copy op variants: same bytes, segments via names."""
+
+    def test_registry_has_the_shm_ops(self):
+        assert {"encode-shard-shm", "decode-shard-shm"} <= set(LANE_OPS)
+
+    def test_encode_shm_matches_plain_encode(self, tmp_path):
+        u, v = _edges()
+        buffer = ShardBuffer.create(u, v)
+        try:
+            info = run_lane_op("encode-shard-shm", dict(
+                directory=str(tmp_path / "shm"), index=0,
+                shm=buffer.name, start=0, end=len(u),
+                fmt="tsv", vertex_base=0,
+            ))
+            reference = run_lane_op(
+                "encode-shard", _encode_payload(tmp_path / "ref", 0, u, v)
+            )
+            assert info == reference
+            assert (
+                (tmp_path / "shm" / info.name).read_bytes()
+                == (tmp_path / "ref" / reference.name).read_bytes()
+            )
+        finally:
+            buffer.release()
+
+    def test_encode_shm_slices_the_segment(self, tmp_path):
+        # The shard plane ships ONE segment for all shards; each encode
+        # op carves its own [start, end) window out of it.
+        u, v = _edges(n=100)
+        buffer = ShardBuffer.create(u, v)
+        try:
+            info = run_lane_op("encode-shard-shm", dict(
+                directory=str(tmp_path / "shm"), index=1,
+                shm=buffer.name, start=25, end=75,
+                fmt="tsv", vertex_base=0,
+            ))
+            reference = run_lane_op("encode-shard", _encode_payload(
+                tmp_path / "ref", 1, u[25:75], v[25:75]
+            ))
+            assert info == reference
+            assert (
+                (tmp_path / "shm" / info.name).read_bytes()
+                == (tmp_path / "ref" / reference.name).read_bytes()
+            )
+        finally:
+            buffer.release()
+
+    def test_decode_shm_round_trip(self, tmp_path):
+        u, v = _edges(seed=13)
+        run_lane_op("encode-shard", _encode_payload(tmp_path, 0, u, v))
+        name = run_lane_op("decode-shard-shm", dict(
+            path=str(tmp_path / "part-00000.tsv"),
+            fmt="tsv", vertex_base=0,
+        ))
+        assert isinstance(name, str)  # only the name crosses the pipe
+        adopted = ShardBuffer.attach(name, owner=True)
+        try:
+            du, dv = adopted.arrays()
+            assert np.array_equal(du, u) and np.array_equal(dv, v)
+        finally:
+            adopted.release()
+
+    def test_shm_ops_work_through_the_pool(self, pool, tmp_path):
+        # Cross-process for real: the parent creates the segment, a
+        # lane worker encodes from it by name.
+        u, v = _edges(seed=17)
+        buffer = ShardBuffer.create(u, v)
+        try:
+            info = pool.run("encode-shard-shm", dict(
+                directory=str(tmp_path), index=0,
+                shm=buffer.name, start=0, end=len(u),
+                fmt="tsv", vertex_base=0,
+            ))
+            assert info.num_edges == len(u)
+            name = pool.run("decode-shard-shm", dict(
+                path=str(tmp_path / info.name), fmt="tsv", vertex_base=0,
+            ))
+            adopted = ShardBuffer.attach(name, owner=True)
+            try:
+                du, dv = adopted.arrays()
+                assert np.array_equal(du, u) and np.array_equal(dv, v)
+            finally:
+                adopted.release()
+        finally:
+            buffer.release()
+
+
+class TestPayloadViaNegotiation:
+    def test_default_is_pipe(self):
+        lane_pool = ProcessLanePool(1)
+        try:
+            assert lane_pool.payload_via == "pipe"
+        finally:
+            lane_pool.shutdown()
+
+    @needs_shm
+    def test_shm_negotiated_when_available(self):
+        lane_pool = ProcessLanePool(1, payload_via="shm")
+        try:
+            assert lane_pool.payload_via == "shm"
+        finally:
+            lane_pool.shutdown()
+
+    def test_unknown_plane_rejected(self):
+        with pytest.raises(ValueError, match="payload_via must be one of"):
+            ProcessLanePool(1, payload_via="telepathy")
+
+    def test_unavailable_shm_degrades_to_pipe(self, monkeypatch):
+        from repro.core import shmplane as shmplane_module
+
+        monkeypatch.setattr(shmplane_module, "shm_available", lambda: False)
+        monkeypatch.setattr(shmplane_module, "_fallback_warned", True)
+        lane_pool = ProcessLanePool(1, payload_via="shm")
+        try:
+            assert lane_pool.payload_via == "pipe"
+        finally:
+            lane_pool.shutdown()
+
+
 class TestProcessLanePool:
     def test_round_trip_bit_identical(self, pool, tmp_path):
         u, v = _edges()
@@ -131,6 +258,39 @@ class TestProcessLanePool:
                 "encode-shard", _encode_payload(tmp_path, index, u, v)
             )
             assert info.num_edges == len(u)
+
+    def test_lazy_respawn_warms_replacement(self, monkeypatch, tmp_path):
+        # A replacement spawned after a worker crash must be pinged
+        # (imports warmed) before its first op, exactly like a
+        # prestarted worker — otherwise the respawn's interpreter +
+        # numpy start-up would be billed to that op's busy time.
+        from repro.core import lanes as lanes_module
+
+        lane_pool = ProcessLanePool(1)
+        try:
+            lane_pool.run(
+                "encode-shard", _encode_payload(tmp_path, 0, *_edges())
+            )
+            for handle in list(lane_pool._handles):
+                handle.process.terminate()
+                handle.process.join()
+            pings = []
+            original = lanes_module._LaneWorkerHandle.ping
+
+            def counting_ping(self):
+                pings.append(True)
+                return original(self)
+
+            monkeypatch.setattr(
+                lanes_module._LaneWorkerHandle, "ping", counting_ping
+            )
+            info = lane_pool.run(
+                "encode-shard", _encode_payload(tmp_path, 1, *_edges())
+            )
+            assert info.num_edges == 200
+            assert pings, "replacement worker was not warmed before its op"
+        finally:
+            lane_pool.shutdown()
 
     def test_prestart_spawns_and_warms_all_workers(self, tmp_path):
         lane_pool = ProcessLanePool(2)

@@ -1,0 +1,305 @@
+"""Unit tests for the zero-copy shard plane.
+
+The plane's promises: a :class:`ShardBuffer` round-trips edge arrays
+bit-identically through a named segment with read-only consumer views,
+ownership hand-off (``export``/adopt) moves unlink duty exactly once,
+the owner registry sweeps outstanding segments on *any* exit path
+(normal exit, SIGTERM), negotiation degrades ``shm`` to ``pipe`` with
+one warning when no segment can be created, and :func:`mapped_view`
+closes its map deterministically.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import warnings
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import shmplane
+from repro.core.shmplane import (
+    HEADER_BYTES,
+    SHARD_PLANES,
+    ShardBuffer,
+    ShmPlaneError,
+    mapped_view,
+    outstanding_segments,
+    resolve_payload_via,
+    shm_available,
+    sweep,
+)
+
+needs_shm = pytest.mark.skipif(
+    not shm_available(),
+    reason="host cannot create shared-memory segments",
+)
+
+#: Environment for subprocess probes: the package must import the same
+#: way it does in this process, whether via PYTHONPATH or installed.
+_SRC = str(Path(shmplane.__file__).resolve().parents[2])
+
+
+def _child_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _edges(n=64, seed=5):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.integers(0, 1 << 10, n, dtype=np.int64),
+        rng.integers(0, 1 << 10, n, dtype=np.int64),
+    )
+
+
+@needs_shm
+class TestShardBuffer:
+    def test_round_trip_bit_identical(self):
+        u, v = _edges()
+        buffer = ShardBuffer.create(u, v)
+        try:
+            reader = ShardBuffer.attach(buffer.name)
+            ru, rv = reader.arrays()
+            assert np.array_equal(ru, u) and np.array_equal(rv, v)
+            reader.close()
+        finally:
+            buffer.release()
+
+    def test_views_are_read_only(self):
+        u, v = _edges()
+        buffer = ShardBuffer.create(u, v)
+        try:
+            ru, rv = buffer.arrays()
+            with pytest.raises(ValueError, match="read-only"):
+                ru[0] = 99
+            with pytest.raises(ValueError, match="read-only"):
+                rv[-1] = 99
+        finally:
+            buffer.release()
+
+    def test_empty_arrays_round_trip(self):
+        empty = np.empty(0, dtype=np.int64)
+        buffer = ShardBuffer.create(empty, empty)
+        try:
+            ru, rv = buffer.arrays()
+            assert len(ru) == 0 and len(rv) == 0
+        finally:
+            buffer.release()
+
+    def test_attach_unknown_name_raises(self):
+        with pytest.raises(FileNotFoundError):
+            ShardBuffer.attach("psm_repro_0_nonexistent")
+
+    def test_garbage_header_rejected(self):
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(
+            create=True, size=HEADER_BYTES + 64, name=None
+        )
+        try:
+            shm.buf[:HEADER_BYTES] = b"\x00" * HEADER_BYTES
+            with pytest.raises(ShmPlaneError, match="not a shard buffer"):
+                ShardBuffer.attach(shm.name)
+        finally:
+            shm.unlink()
+            shm.close()
+
+    def test_lying_lengths_rejected(self):
+        u, v = _edges(8)
+        buffer = ShardBuffer.create(u, v)
+        try:
+            header = buffer._header_view()
+            header[3] = 1 << 40  # claims far more edges than the segment
+            del header
+            with pytest.raises(ShmPlaneError, match="declares"):
+                ShardBuffer.attach(buffer.name)
+        finally:
+            buffer.release()
+
+    def test_export_transfers_ownership(self):
+        # Worker half: create + export; parent half: adopt + release.
+        u, v = _edges(seed=7)
+        name = ShardBuffer.create(u, v).export()
+        assert name not in outstanding_segments()  # exporter forgot it
+        adopted = ShardBuffer.attach(name, owner=True)
+        assert name in outstanding_segments()
+        ru, rv = adopted.arrays()
+        assert np.array_equal(ru, u) and np.array_equal(rv, v)
+        adopted.release()
+        assert name not in outstanding_segments()
+        with pytest.raises(FileNotFoundError):
+            ShardBuffer.attach(name)
+
+    def test_release_is_idempotent(self):
+        buffer = ShardBuffer.create(*_edges())
+        buffer.release()
+        buffer.release()  # second call is a no-op, not an error
+        assert buffer.name not in outstanding_segments()
+
+    def test_reader_outlives_owner_generation_bump(self):
+        # POSIX keeps the pages alive until the last map closes: a
+        # reader attached before the owner bumps + releases still sees
+        # a coherent (superseded) view, flagged by the generation.
+        u, v = _edges(seed=9)
+        owner = ShardBuffer.create(u, v)
+        reader = ShardBuffer.attach(owner.name)
+        assert reader.generation == 1
+        assert owner.bump_generation() == 2
+        assert reader.generation == 2  # same physical pages
+        owner.release()
+        ru, rv = reader.arrays()
+        assert np.array_equal(ru, u) and np.array_equal(rv, v)
+        reader.close()
+
+    def test_nbytes_counts_payload_only(self):
+        u, v = _edges(32)
+        buffer = ShardBuffer.create(u, v)
+        try:
+            assert buffer.nbytes == 32 * 8 * 2
+        finally:
+            buffer.release()
+
+
+@needs_shm
+class TestSweep:
+    def test_sweep_releases_outstanding_segments(self):
+        buffer = ShardBuffer.create(*_edges())
+        name = buffer.name
+        assert sweep() >= 1
+        assert name not in outstanding_segments()
+        with pytest.raises(FileNotFoundError):
+            ShardBuffer.attach(name)
+
+    def test_owner_exit_sweeps_outstanding_segments(self, tmp_path):
+        # A process that exits with live segments must not strand them:
+        # the atexit sweep unlinks everything the registry still holds.
+        script = tmp_path / "owner_exits.py"
+        script.write_text(textwrap.dedent("""\
+            import numpy as np
+            from repro.core.shmplane import ShardBuffer
+            edges = np.arange(32, dtype=np.int64)
+            names = [ShardBuffer.create(edges, edges).name
+                     for _ in range(2)]
+            print("\\n".join(names), flush=True)
+            # deliberately NO release: exit with both outstanding
+        """))
+        proc = subprocess.run(
+            [sys.executable, str(script)], env=_child_env(),
+            capture_output=True, text=True, timeout=60,
+        )
+        assert proc.returncode == 0, proc.stderr
+        names = proc.stdout.split()
+        assert len(names) == 2
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                ShardBuffer.attach(name)
+
+    def test_sigterm_sweeps_outstanding_segments(self, tmp_path):
+        # atexit does not run under SIGTERM's default disposition; the
+        # chained handler must sweep before the process dies.
+        script = tmp_path / "owner_terminated.py"
+        script.write_text(textwrap.dedent("""\
+            import sys, time
+            import numpy as np
+            from repro.core.shmplane import ShardBuffer
+            edges = np.arange(32, dtype=np.int64)
+            buffer = ShardBuffer.create(edges, edges)
+            print(buffer.name, flush=True)
+            time.sleep(60)  # parent terminates us mid-sleep
+        """))
+        proc = subprocess.Popen(
+            [sys.executable, str(script)], env=_child_env(),
+            stdout=subprocess.PIPE, text=True,
+        )
+        try:
+            name = proc.stdout.readline().strip()
+            assert name
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=60)
+        finally:
+            proc.kill()
+            proc.stdout.close()
+        with pytest.raises(FileNotFoundError):
+            ShardBuffer.attach(name)
+
+
+class TestNegotiation:
+    def test_pipe_passes_through(self):
+        assert resolve_payload_via("pipe") == "pipe"
+
+    def test_unknown_plane_rejected(self):
+        with pytest.raises(ValueError, match="payload_via must be one of"):
+            resolve_payload_via("carrier-pigeon")
+        assert set(SHARD_PLANES) == {"pipe", "shm"}
+
+    @needs_shm
+    def test_shm_honoured_when_available(self):
+        assert resolve_payload_via("shm") == "shm"
+
+    def test_unavailable_shm_degrades_with_single_warning(self, monkeypatch):
+        monkeypatch.setattr(shmplane, "shm_available", lambda: False)
+        monkeypatch.setattr(shmplane, "_fallback_warned", False)
+        with pytest.warns(RuntimeWarning, match="falling back to pipe"):
+            assert resolve_payload_via("shm") == "pipe"
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a second warning would raise
+            assert resolve_payload_via("shm") == "pipe"
+
+    def test_reset_hook_reprobes(self, monkeypatch):
+        monkeypatch.setattr(shmplane, "_available", False)
+        assert not shmplane.shm_available()
+        shmplane._reset_negotiation_cache()
+        shmplane.shm_available()  # reprobes without error
+        assert shmplane._available is not None
+
+
+class TestMappedView:
+    def test_reads_the_file_and_closes_the_map(self, tmp_path):
+        path = tmp_path / "spill.bin"
+        data = np.arange(24, dtype=np.int64).reshape(12, 2)
+        data.tofile(path)
+        with mapped_view(path, np.int64, (12, 2)) as mm:
+            assert np.array_equal(np.array(mm), data)
+            raw = mm._mmap
+        assert raw.closed  # the map died with the context, not with GC
+        path.unlink()  # deletable immediately — nothing holds the file
+
+    def test_copies_survive_the_close(self, tmp_path):
+        path = tmp_path / "spill.bin"
+        np.arange(10, dtype=np.float64).tofile(path)
+        with mapped_view(path, np.float64, (10,)) as mm:
+            copied = np.array(mm[3:7])
+        assert np.array_equal(copied, np.arange(3.0, 7.0))
+
+    def test_writable_mode(self, tmp_path):
+        path = tmp_path / "spill.bin"
+        np.zeros(4, dtype=np.int64).tofile(path)
+        with mapped_view(path, np.int64, (4,), mode="r+") as mm:
+            mm[:] = 7
+            mm.flush()
+        assert np.array_equal(
+            np.fromfile(path, dtype=np.int64), np.full(4, 7)
+        )
+
+
+@needs_shm
+class TestNoLeaks:
+    def test_no_outstanding_segments_after_suite(self):
+        # Every test above released what it created; the registry must
+        # agree, and (on hosts that expose it) /dev/shm must hold no
+        # segment named with this process's pid.
+        import gc
+        import glob
+
+        gc.collect()
+        assert outstanding_segments() == ()
+        if os.path.isdir("/dev/shm"):
+            mine = glob.glob(f"/dev/shm/psm_repro_{os.getpid()}_*")
+            assert mine == [], f"leaked segments: {mine}"

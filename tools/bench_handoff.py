@@ -1,0 +1,177 @@
+"""Micro-benchmark: pipe vs shm vs mmap shard hand-off throughput.
+
+Quantifies the zero-copy shard plane (:mod:`repro.core.shmplane`)
+independently of the pipeline: random edge arrays at the requested
+Graph500 scales make one full hand-off round trip per plane —
+
+* ``pipe``  — ``pickle.dumps`` + ``pickle.loads`` of the ``(u, v)``
+  pair, the bytes a :class:`~repro.core.lanes.ProcessLanePool` dispatch
+  ships through a worker pipe each way;
+* ``shm``   — :meth:`ShardBuffer.create` (one memcpy into the segment),
+  :meth:`ShardBuffer.attach` by name, and materialisation of the
+  read-only views — everything a cross-process hand-off costs except
+  the (constant-size) name transfer;
+* ``mmap``  — :func:`repro.edgeio.binary.write_binary_shard` once, then
+  a memory-mapped :func:`read_binary_shard` per measurement — the
+  artifact-cache read path under ``cache_mmap``.
+
+Every plane's round-tripped arrays are asserted bit-identical to the
+source before any number is printed.  Throughput is MB/s of edge
+payload at 16 bytes/edge (two int64 columns).
+
+Usage::
+
+    python tools/bench_handoff.py [--scales 14,16,18] [--edge-factor 16]
+        [--repeats 3] [--seed 1] [--min-shm-speedup 0.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pickle
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.shmplane import ShardBuffer, shm_available
+from repro.edgeio.binary import read_binary_shard, write_binary_shard
+
+#: Edge payload bytes per edge: two little-endian int64 labels.
+BYTES_PER_EDGE = 16
+
+
+def _best_seconds(fn, repeats: int) -> float:
+    """Best-of-N wall time (standard micro-benchmark discipline)."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _roundtrip_pipe(u: np.ndarray, v: np.ndarray):
+    return pickle.loads(pickle.dumps((u, v), protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def _roundtrip_shm(u: np.ndarray, v: np.ndarray):
+    buffer = ShardBuffer.create(u, v)
+    try:
+        reader = ShardBuffer.attach(buffer.name)
+        try:
+            ru, rv = reader.arrays()
+            # Touch both views so lazily-faulted pages are paid for
+            # here, like a consumer would pay them.
+            return np.array(ru), np.array(rv)
+        finally:
+            reader.close()
+    finally:
+        buffer.release()
+
+
+def _roundtrip_mmap(path: Path):
+    u, v = read_binary_shard(path, mmap=True)
+    return np.array(u), np.array(v)
+
+
+def bench_scale(scale: int, edge_factor: int, seed: int, repeats: int,
+                scratch: Path) -> dict:
+    """Measure every hand-off plane at one scale; returns the row dict."""
+    rng = np.random.default_rng(seed)
+    num_edges = edge_factor * (1 << scale)
+    u = rng.integers(0, 1 << scale, num_edges, dtype=np.int64)
+    v = rng.integers(0, 1 << scale, num_edges, dtype=np.int64)
+
+    # Parity before timing: every plane must round-trip bit-identically.
+    pu, pv = _roundtrip_pipe(u, v)
+    if not (np.array_equal(pu, u) and np.array_equal(pv, v)):
+        raise AssertionError(f"scale {scale}: pipe round trip differs")
+    su, sv = _roundtrip_shm(u, v)
+    if not (np.array_equal(su, u) and np.array_equal(sv, v)):
+        raise AssertionError(f"scale {scale}: shm round trip differs")
+    shard = scratch / f"handoff-{scale}.npy"
+    write_binary_shard(shard, u, v)
+    mu, mv = _roundtrip_mmap(shard)
+    if not (np.array_equal(mu, u) and np.array_equal(mv, v)):
+        raise AssertionError(f"scale {scale}: mmap round trip differs")
+
+    mb = num_edges * BYTES_PER_EDGE / 1e6
+    pipe_s = _best_seconds(lambda: _roundtrip_pipe(u, v), repeats)
+    shm_s = _best_seconds(lambda: _roundtrip_shm(u, v), repeats)
+    mmap_s = _best_seconds(lambda: _roundtrip_mmap(shard), repeats)
+    shard.unlink()
+    return {
+        "scale": scale,
+        "num_edges": num_edges,
+        "payload_mb": mb,
+        "pipe_mbs": mb / pipe_s,
+        "shm_mbs": mb / shm_s,
+        "mmap_mbs": mb / mmap_s,
+        "shm_speedup": pipe_s / shm_s,
+        "mmap_speedup": pipe_s / mmap_s,
+    }
+
+
+def _csv_ints(text: str):
+    return [int(part) for part in text.split(",") if part.strip()]
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--scales", type=_csv_ints, default=[14, 16, 18],
+                        help="Graph500 scales to measure (default 14,16,18)")
+    parser.add_argument("--edge-factor", type=int, default=16)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of-N per measurement")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--min-shm-speedup", type=float, default=0.0,
+                        help="exit 1 unless every scale's shm speedup over "
+                             "pipe meets this factor")
+    args = parser.parse_args(argv[1:])
+
+    if not shm_available():
+        print("error: shared memory is unavailable on this host; only the "
+              "pipe and mmap planes could be measured", file=sys.stderr)
+        return 1
+
+    header = (
+        f"{'scale':>5} {'edges':>10} {'MB':>7} "
+        f"{'pipe':>9} {'shm':>9} {'shm x':>6} "
+        f"{'mmap':>9} {'mmap x':>6}"
+    )
+    print(header)
+    print("-" * len(header))
+    slow_scales = []
+    with tempfile.TemporaryDirectory(prefix="bench-handoff-") as tmp:
+        scratch = Path(tmp)
+        for scale in args.scales:
+            row = bench_scale(scale, args.edge_factor, args.seed,
+                              args.repeats, scratch)
+            print(
+                f"{row['scale']:>5} {row['num_edges']:>10,} "
+                f"{row['payload_mb']:>7.1f} "
+                f"{row['pipe_mbs']:>7.0f}/s {row['shm_mbs']:>7.0f}/s "
+                f"{row['shm_speedup']:>5.1f}x "
+                f"{row['mmap_mbs']:>7.0f}/s {row['mmap_speedup']:>5.1f}x",
+                flush=True,
+            )
+            if row["shm_speedup"] < args.min_shm_speedup:
+                slow_scales.append((scale, row["shm_speedup"]))
+    print("(throughput in MB/s of edge payload at 16 bytes/edge; every "
+          "plane asserted bit-identical to the source before timing)")
+    if slow_scales:
+        print(
+            "error: shm hand-off speedup below "
+            f"{args.min_shm_speedup:g}x at: "
+            + ", ".join(f"scale {s} ({x:.1f}x)" for s, x in slow_scales),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -13,7 +13,10 @@ fails the gate.
 cases' codec tasks offloaded to lane worker processes (the
 ``overlap_saved_s`` each async case reported is recorded per case, so
 two contexts — one per lane kind — make the offload's win comparable
-point by point).
+point by point).  ``--shard-plane shm`` additionally routes the async
+cases' shard hand-offs through the shared-memory plane (record it
+under a third context, e.g. ``ci-shmplane``; the per-case
+``handoff_mode`` and ``shm_bytes_saved`` land in the document).
 
 The baseline (``benchmarks/baselines/bench_trajectory.json``) is
 deliberately generous — CI runners are slow and noisy, and this gate
@@ -26,7 +29,7 @@ Usage::
     python tools/bench_trajectory.py --context ci \
         [--output BENCH_ci.json] [--baseline path.json] \
         [--max-regression 2.0] [--no-gate] \
-        [--async-lanes thread|process]
+        [--async-lanes thread|process] [--shard-plane pipe|shm]
 
 Exits 0 when every case is within budget, 1 on a regression, 2 on a
 benchmark that failed to run at all.
@@ -37,7 +40,9 @@ sorted by each point's ``created`` timestamp (CI stamps one point per
 commit, so this is commit order)::
 
     python tools/bench_trajectory.py --aggregate artifacts/ \
-        [--output TRAJECTORY.json]
+        [--output TRAJECTORY.json] \
+        [--tighten-baseline benchmarks/baselines/bench_trajectory.json] \
+        [--tighten-threshold 0.8]
 
 The merged document carries, per case, the full ``(created, context,
 wall_seconds)`` series plus min/median/max summaries, and the tool
@@ -74,17 +79,24 @@ CASES = {
 }
 
 
-def case_matrix(async_lanes: str) -> dict:
-    """The pinned matrix, with the async cases on the requested lane."""
-    if async_lanes == "thread":
-        return dict(CASES)
-    return {
-        name: (
-            extra + ["--async-lanes", async_lanes]
-            if "--execution" in extra else list(extra)
-        )
-        for name, extra in CASES.items()
-    }
+def case_matrix(async_lanes: str, shard_plane: str = "pipe") -> dict:
+    """The pinned matrix, with the async cases on the requested lane.
+
+    ``shard_plane="shm"`` additionally routes the async cases' shard
+    hand-offs through the shared-memory plane (only meaningful with
+    ``async_lanes="process"`` — in-process hand-offs are already
+    zero-copy).
+    """
+    matrix = {}
+    for name, extra in CASES.items():
+        extra = list(extra)
+        if "--execution" in extra:
+            if async_lanes != "thread":
+                extra += ["--async-lanes", async_lanes]
+            if shard_plane != "pipe":
+                extra += ["--shard-plane", shard_plane]
+        matrix[name] = extra
+    return matrix
 
 
 def run_case(name: str, extra_args: list) -> dict:
@@ -126,16 +138,63 @@ def run_case(name: str, extra_args: list) -> dict:
         case["overlap_saved_s"] = last["overlap_saved_s"]
         case["async_lanes"] = last.get("async_lanes", "thread")
         case["lane_busy_seconds"] = last.get("lane_busy_seconds", {})
+        if "handoff_mode" in last:
+            # Shard-plane cases: how the shards actually crossed (shm
+            # may have degraded to pipe) and the pipe bytes avoided.
+            case["handoff_mode"] = last["handoff_mode"]
+            case["shm_bytes_saved"] = last.get("shm_bytes_saved", 0)
     return case
 
 
-def aggregate(directory: Path, output: Path) -> int:
+def tighten_baseline(
+    baseline_path: Path, suggested: dict, threshold: float
+) -> list:
+    """Rewrite baseline cases the accumulated trajectory has outgrown.
+
+    A case is tightened only when the suggested budget (median × 1.5)
+    is at most ``threshold`` × the checked-in budget — small drifts are
+    left alone so the gate file does not churn on noise.  Returns the
+    names of the cases rewritten (empty means the file was untouched).
+    """
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    tightened = []
+    for name, entry in baseline.get("cases", {}).items():
+        proposal = suggested.get(name)
+        if proposal is None:
+            continue
+        current = entry["wall_seconds"]
+        new = proposal["wall_seconds"]
+        if new <= threshold * current:
+            entry["wall_seconds"] = new
+            tightened.append(name)
+            print(f"  tightened {name}: {current:.3f}s -> {new:.3f}s")
+    if tightened:
+        baseline_path.write_text(
+            json.dumps(baseline, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"baseline rewritten: {baseline_path} "
+              f"({len(tightened)} case(s))")
+    else:
+        print("no baseline case met the tightening threshold "
+              f"(suggested <= {threshold:g}x current); file untouched")
+    return tightened
+
+
+def aggregate(
+    directory: Path, output: Path,
+    tighten: Path = None, tighten_threshold: float = 0.8,
+) -> int:
     """Merge ``BENCH_*.json`` artifacts into one sorted time series.
 
     Points are ordered by their ``created`` timestamp (one CI point per
     commit makes that commit order); the merged document carries the
     per-case series plus min/median/max, and a suggested tightened
-    baseline (per-case median × 1.5) is printed for review.
+    baseline (per-case median × 1.5) is printed for review.  With
+    ``tighten`` set, cases whose suggestion is at most
+    ``tighten_threshold`` × the checked-in budget are rewritten in
+    place (the scheduled auto-tightening workflow turns that diff into
+    a PR).
     """
     import statistics
 
@@ -198,6 +257,12 @@ def aggregate(directory: Path, output: Path) -> int:
           "series before copying into "
           "benchmarks/baselines/bench_trajectory.json):")
     print(json.dumps({"cases": suggested}, indent=2, sort_keys=True))
+    if tighten is not None:
+        if not tighten.exists():
+            print(f"error: no baseline at {tighten} to tighten",
+                  file=sys.stderr)
+            return 2
+        tighten_baseline(tighten, suggested, tighten_threshold)
     return 0
 
 
@@ -224,20 +289,39 @@ def main(argv: list) -> int:
                         help="codec lane for the async cases (process "
                              "reruns the same matrix with lane-pool "
                              "offload; pair with a distinct --context)")
+    parser.add_argument("--shard-plane", default="pipe",
+                        choices=["pipe", "shm"],
+                        help="shard hand-off plane for the async cases "
+                             "(shm routes edge arrays through shared "
+                             "memory; pair with --async-lanes process "
+                             "and a distinct --context)")
     parser.add_argument("--aggregate", default=None, metavar="DIR",
                         help="merge BENCH_*.json files under DIR into a "
                              "time-series document instead of running "
                              "the benchmark")
+    parser.add_argument("--tighten-baseline", default=None, metavar="PATH",
+                        help="with --aggregate: rewrite this baseline "
+                             "file in place where the suggested budget "
+                             "is materially tighter")
+    parser.add_argument("--tighten-threshold", type=float, default=0.8,
+                        help="tighten a case only when suggested <= "
+                             "this fraction of the checked-in budget "
+                             "(default 0.8)")
     args = parser.parse_args(argv[1:])
 
     if args.aggregate is not None:
         return aggregate(
             Path(args.aggregate),
             Path(args.output or "TRAJECTORY.json"),
+            tighten=(
+                Path(args.tighten_baseline)
+                if args.tighten_baseline else None
+            ),
+            tighten_threshold=args.tighten_threshold,
         )
 
     results = {}
-    for name, extra in case_matrix(args.async_lanes).items():
+    for name, extra in case_matrix(args.async_lanes, args.shard_plane).items():
         print(f"running {name} ...", flush=True)
         try:
             results[name] = run_case(name, extra)
@@ -253,6 +337,7 @@ def main(argv: list) -> int:
         "python": platform.python_version(),
         "platform": platform.platform(),
         "async_lanes": args.async_lanes,
+        "shard_plane": args.shard_plane,
         "cases": results,
     }
     output = Path(args.output or f"BENCH_{args.context}.json")
