@@ -44,7 +44,7 @@ from repro.core.config import (
 )
 
 #: Current serialisation version (see :data:`_MIGRATIONS`).
-SPEC_VERSION = 4
+SPEC_VERSION = 5
 
 #: How a run may interact with the environment's artifact cache.
 CACHE_POLICIES = ("shared", "off")
@@ -87,6 +87,14 @@ def _migrate_v3(doc: Dict[str, object]) -> Dict[str, object]:
     return doc
 
 
+def _migrate_v4(doc: Dict[str, object]) -> Dict[str, object]:
+    """v4 → v5: ``trace`` was introduced (the default, ``False``,
+    matches the old behaviour — no field rewriting)."""
+    doc = dict(doc)
+    doc["spec_version"] = 5
+    return doc
+
+
 #: Upgrade hooks: ``_MIGRATIONS[v]`` rewrites a version-``v`` document
 #: to version ``v+1``.  Loading applies them in sequence up to
 #: :data:`SPEC_VERSION`.
@@ -94,6 +102,7 @@ _MIGRATIONS: Dict[int, Callable[[Dict[str, object]], Dict[str, object]]] = {
     1: _migrate_v1,
     2: _migrate_v2,
     3: _migrate_v3,
+    4: _migrate_v4,
 }
 
 
@@ -154,6 +163,7 @@ class RunSpec:
     async_lanes: str = "thread"
     shard_plane: str = "pipe"
     cache_mmap: bool = False
+    trace: bool = False
     data_dir: Optional[str] = None
     repeats: int = 1
     cache_policy: str = "shared"
@@ -232,6 +242,7 @@ class RunSpec:
             async_lanes=self.async_lanes,
             shard_plane=self.shard_plane,
             cache_mmap=self.cache_mmap,
+            trace=self.trace,
         )
 
     @classmethod
@@ -270,6 +281,7 @@ class RunSpec:
             async_lanes=config.async_lanes,
             shard_plane=config.shard_plane,
             cache_mmap=config.cache_mmap,
+            trace=config.trace,
             data_dir=str(config.data_dir) if config.data_dir else None,
             **api_fields,  # type: ignore[arg-type]
         )

@@ -69,15 +69,19 @@ def _print_kernel_report(result) -> None:
             # overlap's saving shows up in the end-to-end wall-clock.
             wall = result.kernels[-1].details.get("pipeline_wall_seconds")
             lanes = result.kernels[-1].details.get("lane_busy_seconds") or {}
-            lane_note = (
-                f"; codec offloaded to process lanes "
-                f"({lanes['process']:.4f}s busy)"
-                if "process" in lanes else ""
+            lane_note = "".join(
+                f"; codec on {kind} lanes ({busy:.4f}s busy)"
+                for kind, busy in sorted(lanes.items())
+            )
+            shm_saved = result.kernels[-1].details.get("shm_bytes_saved")
+            shm_note = (
+                f"; shm saved {_human_bytes(int(shm_saved))} of pipe traffic"
+                if shm_saved else ""
             )
             print(
                 f"async overlap: wall {wall:.4f}s for "
                 f"{result.total_seconds:.4f}s of kernel busy time "
-                f"(overlap saved {overlap:.4f}s){lane_note}"
+                f"(overlap saved {overlap:.4f}s){lane_note}{shm_note}"
             )
 
 
@@ -164,18 +168,25 @@ def run_spec_from_args(args: argparse.Namespace) -> RunSpec:
     --scenario paper-s18 --seed 9`` reseeds the scenario without
     disturbing its shape).
     """
+    # --trace takes a *path* but the spec field is a bool; the path
+    # itself stays CLI-side (cmd_run writes the export there).
+    want_trace = getattr(args, "trace", None) is not None
     if args.scenario is None:
         overrides: Dict[str, object] = {
             spec_field: getattr(args, arg)
             for arg, spec_field in _RUN_SPEC_ARGS.items()
         }
         overrides["validation"] = _validation_mode(args)
+        if want_trace:
+            overrides["trace"] = True
         return RunSpec(**overrides)  # type: ignore[arg-type]
     spec = get_scenario(args.scenario, **_explicit_run_flags(args))
     if args.validate or args.no_validate or args.no_verify:
         spec = spec.with_overrides(
             validation=_validation_mode(args, base=spec.validation)
         )
+    if want_trace:
+        spec = spec.with_overrides(trace=True)
     return spec
 
 
@@ -195,6 +206,15 @@ def cmd_run(args: argparse.Namespace) -> int:
         cache_dir=Path(args.cache_dir) if args.cache_dir else None,
     )
     result = outcome.result
+    trace_path = getattr(args, "trace", None)
+    if trace_path and result.trace is not None:
+        from repro.core.trace import chrome_trace
+
+        Path(trace_path).write_text(
+            json.dumps(chrome_trace(result.trace), sort_keys=True)
+        )
+        _diag(f"trace written to {trace_path} (open in Perfetto / "
+              f"chrome://tracing)")
     failed = result.validation is not None and not result.validation["passed"]
     if args.json:
         doc = result.to_dict()

@@ -149,6 +149,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="skip the inter-kernel contract checks "
                           "(benchmark loops only; validation is separate, "
                           "see --no-validate)")
+    run.add_argument("--trace", metavar="PATH", default=None,
+                     help="record a span trace of the run (executor "
+                          "stages, scheduler tasks, lane ops, shm "
+                          "segments) and write it here as a Chrome/"
+                          "Perfetto trace.json")
     run.add_argument("--json", action="store_true",
                      help="emit the JSON result on stdout (diagnostics "
                           "go to stderr)")

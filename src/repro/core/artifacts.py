@@ -55,6 +55,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.backends.base import Details
+from repro.core import trace
 from repro.core.config import PipelineConfig
 from repro.edgeio.dataset import EdgeDataset
 
@@ -306,7 +307,10 @@ class ArtifactCache:
         """
         key = cache_key(fields)
         entry = self.entry_dir(kind, key)
-        hit = self._open_locked(kind, key, hold)
+        probe = trace.span(f"cache:{kind}", cat="cache", key=key)
+        with probe:
+            hit = self._open_locked(kind, key, hold)
+            probe.set(outcome="hit" if hit is not None else "miss")
         if hit is not None:
             return hit
 
@@ -453,26 +457,32 @@ class ArtifactCache:
         entry = self.entry_dir(kind, key)
         payload = entry / "csr.npz"
         meta_path = entry / "meta.json"
-        with self.entry_lock(kind, key).shared():
-            if not payload.exists() or not meta_path.exists():
+        probe = trace.span(f"cache:{kind}", cat="cache", key=key)
+        with probe:
+            with self.entry_lock(kind, key).shared():
+                if not payload.exists() or not meta_path.exists():
+                    probe.set(outcome="miss")
+                    return None
+                try:
+                    meta = json.loads(meta_path.read_text(encoding="utf-8"))
+                    with np.load(payload) as archive:
+                        shape = tuple(int(x) for x in archive["shape"])
+                        matrix = sp.csr_matrix(
+                            (archive["data"], archive["indices"],
+                             archive["indptr"]),
+                            shape=shape,
+                        )
+                except (OSError, ValueError, KeyError, json.JSONDecodeError):
+                    matrix = None
+                else:
+                    self._touch(entry)
+            if matrix is None:
+                # Unreadable entry: purge only if the exclusive lock can
+                # be won (see _purge_corrupt) — never under a reader.
+                probe.set(outcome="miss")
+                self._purge_corrupt(kind, key)
                 return None
-            try:
-                meta = json.loads(meta_path.read_text(encoding="utf-8"))
-                with np.load(payload) as archive:
-                    shape = tuple(int(x) for x in archive["shape"])
-                    matrix = sp.csr_matrix(
-                        (archive["data"], archive["indices"], archive["indptr"]),
-                        shape=shape,
-                    )
-            except (OSError, ValueError, KeyError, json.JSONDecodeError):
-                matrix = None
-            else:
-                self._touch(entry)
-        if matrix is None:
-            # Unreadable entry: purge only if the exclusive lock can be
-            # won (see _purge_corrupt) — never under a reader.
-            self._purge_corrupt(kind, key)
-            return None
+            probe.set(outcome="hit")
         return matrix, meta
 
     def store_csr(
@@ -494,24 +504,27 @@ class ArtifactCache:
             prefix=f"{entry.name}.tmp-", dir=entry.parent
         ))
         try:
-            matrix = matrix.tocsr()
-            np.savez(
-                staging / "csr.npz",
-                indptr=matrix.indptr,
-                indices=matrix.indices,
-                data=matrix.data,
-                shape=np.asarray(matrix.shape, dtype=np.int64),
-            )
-            (staging / "meta.json").write_text(
-                json.dumps(meta, indent=2, sort_keys=True), encoding="utf-8"
-            )
-            (staging / "cache-entry.json").write_text(
-                json.dumps(fields, indent=2, sort_keys=True), encoding="utf-8"
-            )
-            try:
-                os.replace(staging, entry)
-            except OSError:
-                pass  # a racing producer published an identical entry
+            with trace.span(f"cache:{kind}:store", cat="cache", key=key):
+                matrix = matrix.tocsr()
+                np.savez(
+                    staging / "csr.npz",
+                    indptr=matrix.indptr,
+                    indices=matrix.indices,
+                    data=matrix.data,
+                    shape=np.asarray(matrix.shape, dtype=np.int64),
+                )
+                (staging / "meta.json").write_text(
+                    json.dumps(meta, indent=2, sort_keys=True),
+                    encoding="utf-8",
+                )
+                (staging / "cache-entry.json").write_text(
+                    json.dumps(fields, indent=2, sort_keys=True),
+                    encoding="utf-8",
+                )
+                try:
+                    os.replace(staging, entry)
+                except OSError:
+                    pass  # a racing producer published an identical entry
         finally:
             shutil.rmtree(staging, ignore_errors=True)
         return key
@@ -578,7 +591,9 @@ class ArtifactCache:
         if not lock.acquire(shared=False, blocking=False):
             return False
         try:
-            shutil.rmtree(entry.path, ignore_errors=True)
+            with trace.span("cache:evict", cat="cache", kind=entry.kind,
+                            key=entry.key, freed_bytes=entry.num_bytes):
+                shutil.rmtree(entry.path, ignore_errors=True)
             return True
         finally:
             lock.release()

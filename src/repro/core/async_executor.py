@@ -75,6 +75,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.backends.base import Details
+from repro.core import trace
 from repro.core.config import KernelName, PipelineConfig
 from repro.core.exceptions import KernelContractError
 from repro.core.executor import Executor, StageOutput
@@ -225,11 +226,50 @@ class AsyncExecutor(Executor):
         finally:
             if lane_pool is not None:
                 lane_pool.shutdown()
+        self._record_stage_spans(schedule)
         records = self._assemble(
             ctx, schedule, artifact_tasks, payload_via, shm_stats
         )
         for _, kernel_result in records:
             result.kernels.append(kernel_result)
+
+    @staticmethod
+    def _record_stage_spans(schedule: ScheduleResult) -> None:
+        """Synthesize per-stage spans from the schedule's task timings.
+
+        The async executor has no serial "stage ran here" interval —
+        stages interleave — so each stage's span is the envelope of its
+        group's tasks, placed on the run clock via the schedule's
+        ``trace_origin``.  Busy time re-derived from the task spans is
+        asserted against the schedule's own accounting, so the trace is
+        a projection of the numbers the results report, never a second
+        bookkeeping that can drift.
+        """
+        tracer = trace.current()
+        if tracer is None or schedule.trace_origin is None:
+            return
+        group_busy = schedule.group_busy_seconds()
+        span_busy = trace.task_busy_seconds(tracer.span_docs())
+        groups: Dict[str, List] = {}
+        for timing in schedule.timings.values():
+            groups.setdefault(timing.group, []).append(timing)
+        for group, timings in groups.items():
+            started = min(t.started for t in timings)
+            finished = max(t.finished for t in timings)
+            busy = group_busy.get(group, 0.0)
+            derived = span_busy.get(group)
+            # Per-task values are bitwise equal (same samples, same
+            # arithmetic); the sums may differ by association order.
+            if derived is None or abs(derived - busy) > 1e-6:
+                raise AssertionError(
+                    f"span-derived busy for group {group!r} "
+                    f"({derived}) disagrees with the schedule ({busy})"
+                )
+            tracer.add_span(
+                f"stage:{group}", "stage",
+                schedule.trace_origin + started, finished - started,
+                args={"tasks": len(timings), "busy_seconds": busy},
+            )
 
     def _codec_lane(self, config: PipelineConfig) -> str:
         """Which lane the TSV codec tasks run on for this config.

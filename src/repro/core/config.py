@@ -145,6 +145,13 @@ class PipelineConfig:
         concurrent readers on one host share one page-cache-resident
         warm cache.  Views are copy-on-read at mutation seams (see
         ARCHITECTURE.md's shard-plane section).
+    trace:
+        Record a span trace of the run (:mod:`repro.core.trace`): stage
+        phases, scheduler tasks, lane ops, shm segment lifecycle, and
+        cache probes land in ``PipelineResult.trace``, exportable as a
+        Chrome/Perfetto ``trace.json``.  Off by default; the disabled
+        path is a cheap no-op and the flag never enters artifact-cache
+        keys (those enumerate their fields explicitly).
     """
 
     scale: int
@@ -172,6 +179,7 @@ class PipelineConfig:
     async_lanes: str = "thread"
     shard_plane: str = "pipe"
     cache_mmap: bool = False
+    trace: bool = False
 
     def __post_init__(self) -> None:
         check_positive_int("scale", self.scale)

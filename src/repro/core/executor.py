@@ -36,6 +36,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro._util import StopWatch
+from repro.core import trace
 from repro.backends.base import AdjacencyHandle, Backend, Details
 from repro.backends.registry import get_backend
 from repro.core.artifacts import (
@@ -115,15 +116,23 @@ class Executor:
         base_dir.mkdir(parents=True, exist_ok=True)
         ctx = StageContext(config=config, backend=backend, base_dir=base_dir)
         result = PipelineResult(config=config)
+        collector = trace.TraceCollector() if config.trace else None
         try:
-            wall = StopWatch().start()
-            self._run_plan(ctx, result, verify=verify)
-            result.wall_seconds = wall.stop()
-            rank = ctx.artifacts.get(ARTIFACT_RANK)
-            if rank is not None:
-                result.rank = np.asarray(rank)
-            if config.validate:
-                result.validation = self._validate(ctx)
+            with trace.activate(collector), \
+                    trace.span("pipeline", cat="run",
+                               execution=self.name or type(self).__name__,
+                               backend=backend.name, scale=config.scale):
+                wall = StopWatch().start()
+                self._run_plan(ctx, result, verify=verify)
+                result.wall_seconds = wall.stop()
+                rank = ctx.artifacts.get(ARTIFACT_RANK)
+                if rank is not None:
+                    result.rank = np.asarray(rank)
+                if config.validate:
+                    with trace.span("validate", cat="verify"):
+                        result.validation = self._validate(ctx)
+            if collector is not None:
+                result.trace = collector.trace_doc()
             return result
         finally:
             ctx.release_locks()
@@ -156,13 +165,16 @@ class Executor:
         ``verify`` is set.
         """
         for stage in self.plan.stages:
-            watch = StopWatch().start()
-            output, details = self._run_stage(stage, ctx)
-            seconds = watch.stop()
-            # A strategy that cannot be timed from outside (the
-            # shard-parallel K2/K3 phases run fused inside one
-            # per-rank program) reports its own clock instead.
-            seconds = float(details.get("measured_seconds", seconds))
+            with trace.span(f"stage:{stage.kernel.value}", cat="stage") as sp:
+                watch = StopWatch().start()
+                output, details = self._run_stage(stage, ctx)
+                seconds = watch.stop()
+                # A strategy that cannot be timed from outside (the
+                # shard-parallel K2/K3 phases run fused inside one
+                # per-rank program) reports its own clock instead.
+                seconds = float(details.get("measured_seconds", seconds))
+                sp.set(seconds=seconds,
+                       officially_timed=stage.officially_timed)
             ctx.artifacts[stage.provides] = output
             edges = int(
                 details.get("edges_processed", stage.nominal_edges(ctx.config))
@@ -177,7 +189,9 @@ class Executor:
                 )
             )
             if verify and stage.contract is not None:
-                stage.contract.check(ctx)
+                with trace.span(f"contract:{stage.kernel.value}",
+                                cat="verify"):
+                    stage.contract.check(ctx)
 
     # ------------------------------------------------------------------
     def _run_stage(self, stage: Stage, ctx: StageContext) -> StageOutput:

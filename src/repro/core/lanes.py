@@ -46,7 +46,9 @@ import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, Mapping, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.core import trace
 
 #: Lane kinds a task can be scheduled on (see TaskSpec.lane).
 LANE_KINDS = ("thread", "process")
@@ -213,14 +215,36 @@ def lane_worker_main(conn) -> None:
         if not message or message[0] == "shutdown":
             break
         if message[0] == "ping":
+            # The reply carries this process's perf_counter so the
+            # parent can compute a clock offset (the span re-anchoring
+            # handshake — see repro.core.trace.clock_offset).
             try:
-                conn.send(("ok", "pong"))
+                conn.send(("ok", "pong", time.perf_counter()))
             except (BrokenPipeError, OSError):
                 break
             continue
-        _, op, payload = message
+        # Requests are ("run", op, payload) or, when the parent's run
+        # is traced, ("run", op, payload, True) — the worker then wraps
+        # the op in a raw-clock span and ships the span docs back in
+        # the reply for the parent to re-anchor onto its own clock.
+        if len(message) == 4:
+            _, op, payload, want_trace = message
+        else:
+            _, op, payload = message
+            want_trace = False
+        span_docs: Optional[List[Dict[str, object]]] = None
         try:
-            result = run_lane_op(op, payload)
+            if want_trace:
+                collector = trace.TraceCollector(
+                    label=multiprocessing.current_process().name,
+                    raw_clock=True,
+                )
+                with trace.activate(collector), \
+                        trace.span(f"lane-op:{op}", cat="lane"):
+                    result = run_lane_op(op, payload)
+                span_docs = collector.span_docs()
+            else:
+                result = run_lane_op(op, payload)
         except (KeyboardInterrupt, SystemExit):
             raise  # die; the dispatching thread sees a crash
         except BaseException as exc:  # noqa: BLE001 - marshalled to parent
@@ -230,7 +254,10 @@ def lane_worker_main(conn) -> None:
                 break
         else:
             try:
-                conn.send(("ok", result))
+                if span_docs is not None:
+                    conn.send(("ok", result, span_docs))
+                else:
+                    conn.send(("ok", result))
             except (BrokenPipeError, OSError):
                 break
     try:
@@ -243,6 +270,12 @@ class _LaneWorkerHandle:
     """One long-lived lane worker plus the parent end of its pipe."""
 
     def __init__(self, ctx, index: int) -> None:
+        self.index = index
+        #: Worker perf_counter → parent perf_counter correction, from
+        #: the warm-up ping handshake (see :func:`repro.core.trace.
+        #: clock_offset`).  On Linux both clocks read the same
+        #: CLOCK_MONOTONIC, so this is ~the pipe transit error.
+        self.clock_offset = 0.0
         self.conn, child_conn = ctx.Pipe()
         # Daemonic: lane ops never spawn processes of their own (unlike
         # service jobs, which may select parallel_executor="mp"), so
@@ -257,9 +290,20 @@ class _LaneWorkerHandle:
         self.process.start()
         child_conn.close()  # the parent keeps only its own end
 
-    def run(self, op: str, payload: Mapping[str, object]) -> object:
+    def run(
+        self, op: str, payload: Mapping[str, object], *,
+        want_trace: bool = False,
+    ) -> Tuple[object, Optional[List[Dict[str, object]]]]:
+        """Ship one op; returns ``(result, span_docs)``.
+
+        ``span_docs`` is the worker-side span list (raw perf_counter
+        starts) when ``want_trace`` was set, else ``None``.
+        """
         try:
-            self.conn.send(("run", op, payload))
+            if want_trace:
+                self.conn.send(("run", op, payload, True))
+            else:
+                self.conn.send(("run", op, payload))
             reply = self.conn.recv()
         except (EOFError, BrokenPipeError, OSError) as exc:
             raise LaneWorkerCrashError(
@@ -267,25 +311,44 @@ class _LaneWorkerHandle:
                 f"died mid-op {op!r}: {type(exc).__name__}"
             ) from None
         if reply[0] == "ok":
-            return reply[1]
+            return reply[1], (reply[2] if len(reply) > 2 else None)
         _tag, error_type, message = reply
         raise RemoteLaneError(error_type, message)
 
     def ping(self) -> None:
-        """Block until the worker's loop is serving (imports warmed)."""
-        try:
-            self.conn.send(("ping",))
-            reply = self.conn.recv()
-        except (EOFError, BrokenPipeError, OSError) as exc:
-            raise LaneWorkerCrashError(
-                f"lane worker {self.process.name} (pid {self.process.pid}) "
-                f"died during start-up: {type(exc).__name__}"
-            ) from None
-        if reply != ("ok", "pong"):  # pragma: no cover - defensive
-            raise LaneWorkerCrashError(
-                f"lane worker {self.process.name} sent an unexpected "
-                f"start-up reply: {reply!r}"
-            )
+        """Block until the worker's loop is serving (imports warmed).
+
+        The round-trip also performs the trace clock handshake: the
+        reply carries the worker's perf_counter reading, and bracketing
+        it with the parent's own samples yields :attr:`clock_offset`
+        for re-anchoring worker-side spans onto the parent's clock.
+        The handshake uses a *second* round trip: the first ping's
+        window spans the worker's interpreter/numpy start-up (hundreds
+        of milliseconds, all before the reply), so its midpoint is a
+        terrible clock estimate — only a warm round trip (~µs) is
+        symmetric enough to trust.
+        """
+        for warm_up in (True, False):
+            try:
+                t_send = time.perf_counter()
+                self.conn.send(("ping",))
+                reply = self.conn.recv()
+                t_recv = time.perf_counter()
+            except (EOFError, BrokenPipeError, OSError) as exc:
+                raise LaneWorkerCrashError(
+                    f"lane worker {self.process.name} "
+                    f"(pid {self.process.pid}) died during start-up: "
+                    f"{type(exc).__name__}"
+                ) from None
+            if reply[:2] != ("ok", "pong"):  # pragma: no cover - defensive
+                raise LaneWorkerCrashError(
+                    f"lane worker {self.process.name} sent an unexpected "
+                    f"start-up reply: {reply!r}"
+                )
+            if not warm_up and len(reply) > 2:
+                self.clock_offset = trace.clock_offset(
+                    t_send, t_recv, reply[2]
+                )
 
     def stop(self, timeout: float = 5.0) -> None:
         """Polite shutdown; escalates to terminate if the worker hangs."""
@@ -439,11 +502,19 @@ class ProcessLanePool:
         queuing, not compute — counting it would bill one worker's
         compute to every dispatch that queued behind it.
         """
+        collector = trace.current()
         waited_from = time.perf_counter()
         handle = self._checkout()
         queue_wait = time.perf_counter() - waited_from
+        dispatch = trace.span(
+            f"lane-dispatch:{op}", cat="lane",
+            lane=handle.process.name, queue_wait=queue_wait,
+        )
         try:
-            result = handle.run(op, payload)
+            with dispatch:
+                result, span_docs = handle.run(
+                    op, payload, want_trace=collector is not None,
+                )
         except RemoteLaneError:
             self._checkin(handle)  # worker is fine; the op raised
             raise
@@ -454,6 +525,16 @@ class ProcessLanePool:
             self._checkin(handle, dead=True)
             raise
         self._checkin(handle)
+        if collector is not None and span_docs:
+            # Worker spans arrive on the worker's raw perf_counter;
+            # the handshake offset re-anchors them onto this process's
+            # clock, nested under the dispatch span just closed.
+            collector.merge(
+                span_docs,
+                offset=handle.clock_offset - collector.t0,
+                proc=handle.process.name,
+                parent_id=dispatch.span_id,
+            )
         return result, queue_wait
 
     def run_task(self, task: LaneTask) -> object:

@@ -102,6 +102,11 @@ class PipelineResult:
         strategies; *smaller* under the async executor, whose per-kernel
         ``seconds`` report busy time so throughput stays comparable while
         the overlap's saving shows up here.
+    trace:
+        Run-trace document when ``config.trace`` was set: ``{"epoch0":
+        epoch-seconds, "spans": [span dicts]}`` from
+        :meth:`repro.core.trace.TraceCollector.trace_doc`.  Export with
+        :func:`repro.core.trace.chrome_trace`.
     """
 
     config: PipelineConfig
@@ -109,6 +114,7 @@ class PipelineResult:
     rank: Optional[np.ndarray] = None
     validation: Optional[Dict[str, object]] = None
     wall_seconds: Optional[float] = None
+    trace: Optional[Dict[str, object]] = None
 
     def kernel(self, name: KernelName) -> KernelResult:
         """Fetch one kernel's result.
@@ -152,6 +158,8 @@ class PipelineResult:
             }
         if self.validation is not None:
             doc["validation"] = _json_safe(self.validation)
+        if self.trace is not None:
+            doc["trace"] = _json_safe(self.trace)
         return doc
 
     def to_json(self) -> str:

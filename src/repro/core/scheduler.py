@@ -42,6 +42,7 @@ from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
+from repro.core import trace
 from repro.core.exceptions import PipelineError
 from repro.core.lanes import LANE_KINDS, LaneTask, ProcessLanePool, run_lane_op
 
@@ -119,11 +120,18 @@ class ScheduleResult:
         Per-task busy intervals.
     wall_seconds:
         End-to-end wall-clock of the whole graph.
+    trace_origin:
+        The graph's clock zero on the active trace collector's run
+        clock (``None`` when the run was untraced).  Lets callers place
+        :class:`TaskTiming` instants — which are graph-clock-relative —
+        onto the trace timeline (the async executor synthesises its
+        per-stage spans this way).
     """
 
     results: Dict[str, object] = field(default_factory=dict)
     timings: Dict[str, TaskTiming] = field(default_factory=dict)
     wall_seconds: float = 0.0
+    trace_origin: Optional[float] = None
 
     def group_busy_seconds(self) -> Dict[str, float]:
         """Summed task busy time per group, insertion-ordered.
@@ -265,39 +273,71 @@ class TaskGraph:
         for spec in self._tasks.values():
             for dep in spec.deps:
                 readers[dep] += 1
+        tracer = trace.current()
         clock0 = time.perf_counter()
+        schedule_handle = None
+        if tracer is not None:
+            # The schedule span's start is the graph's clock zero (same
+            # perf_counter sample), so TaskTiming instants and trace
+            # timestamps share one origin.
+            result.trace_origin = clock0 - tracer.t0
+            schedule_handle = tracer.begin(
+                "schedule", cat="run", start=result.trace_origin,
+                tasks=len(self._tasks),
+            )
 
         def _call(spec: TaskSpec):
-            started = time.perf_counter() - clock0
+            t_started = time.perf_counter()
             queue_wait = 0.0
+            handle = None
+            if tracer is not None:
+                handle = tracer.begin(
+                    f"task:{spec.name}", cat="task",
+                    start=t_started - tracer.t0,
+                    parent_id=schedule_handle.span_id,
+                    group=spec.group, lane=spec.lane,
+                )
             try:
-                value = spec.fn(result.results)
-                if spec.lane == "process":
-                    if not isinstance(value, LaneTask):
-                        raise TypeError(
-                            f"process-lane task {spec.name!r} must return "
-                            f"a LaneTask descriptor, got {type(value).__name__}"
-                        )
-                    task = value
-                    if lane_pool is not None:
-                        value, queue_wait = lane_pool.run_task_timed(task)
-                    else:
-                        value = run_lane_op(task.op, task.payload)
-                    if task.post is not None:
-                        # Parent-side hook (e.g. adopt a shared-memory
-                        # segment the op created); applied identically
-                        # on the pool and in-place paths.
-                        value = task.post(value)
+                # Re-bind the run's collector on this pool thread so
+                # layers the task body calls into (artifact cache, shm
+                # plane, lane dispatch) see it ambiently.
+                with trace.activate(tracer):
+                    value = spec.fn(result.results)
+                    if spec.lane == "process":
+                        if not isinstance(value, LaneTask):
+                            raise TypeError(
+                                f"process-lane task {spec.name!r} must return "
+                                f"a LaneTask descriptor, got {type(value).__name__}"
+                            )
+                        task = value
+                        if lane_pool is not None:
+                            value, queue_wait = lane_pool.run_task_timed(task)
+                        else:
+                            value = run_lane_op(task.op, task.payload)
+                        if task.post is not None:
+                            # Parent-side hook (e.g. adopt a shared-memory
+                            # segment the op created); applied identically
+                            # on the pool and in-place paths.
+                            value = task.post(value)
             finally:
                 finished = time.perf_counter() - clock0
-                result.timings[spec.name] = TaskTiming(
+                timing = TaskTiming(
                     name=spec.name,
                     group=spec.group,
-                    started=started,
+                    started=t_started - clock0,
                     finished=finished,
                     lane=spec.lane,
                     queue_wait=queue_wait,
                 )
+                result.timings[spec.name] = timing
+                if handle is not None:
+                    # Same perf_counter samples and the same float
+                    # arithmetic as the TaskTiming, so busy recomputed
+                    # from this span (dur - queue_wait) matches
+                    # ``timing.seconds`` exactly.
+                    tracer.end(handle,
+                               dur=timing.finished - timing.started,
+                               queue_wait=queue_wait)
             return value
 
         failure: Optional[Tuple[str, BaseException]] = None
@@ -334,6 +374,8 @@ class TaskGraph:
                     del waiting[name]
                     inflight[pool.submit(_call, self._tasks[name])] = name
         result.wall_seconds = time.perf_counter() - clock0
+        if schedule_handle is not None:
+            tracer.end(schedule_handle, dur=result.wall_seconds)
         if failure is not None:
             name, exc = failure
             raise SchedulerError(f"task {name!r} failed: {exc}") from exc

@@ -55,6 +55,8 @@ from typing import Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
+from repro.core import trace
+
 #: Shard hand-off planes selectable by config (``shard_plane``).
 SHARD_PLANES = ("pipe", "shm")
 
@@ -314,24 +316,26 @@ class ShardBuffer:
         """
         from multiprocessing import shared_memory
 
-        u = np.ascontiguousarray(u, dtype=np.int64)
-        v = np.ascontiguousarray(v, dtype=np.int64)
-        size = HEADER_BYTES + u.nbytes + v.nbytes
-        shm = shared_memory.SharedMemory(
-            create=True, size=max(size, 1), name=_next_name()
-        )
-        buffer = cls(shm, owner=True)
-        header = buffer._header_view()
-        header[0] = _MAGIC
-        header[1] = _LAYOUT_VERSION
-        header[2] = 1  # generation
-        header[3] = len(u)
-        header[4] = len(v)
-        pu, pv = buffer._payload_views(writable=True)
-        pu[:] = u
-        pv[:] = v
-        del header, pu, pv
-        _register(buffer)
+        with trace.span("shm:create", cat="shm") as sp:
+            u = np.ascontiguousarray(u, dtype=np.int64)
+            v = np.ascontiguousarray(v, dtype=np.int64)
+            size = HEADER_BYTES + u.nbytes + v.nbytes
+            shm = shared_memory.SharedMemory(
+                create=True, size=max(size, 1), name=_next_name()
+            )
+            buffer = cls(shm, owner=True)
+            header = buffer._header_view()
+            header[0] = _MAGIC
+            header[1] = _LAYOUT_VERSION
+            header[2] = 1  # generation
+            header[3] = len(u)
+            header[4] = len(v)
+            pu, pv = buffer._payload_views(writable=True)
+            pu[:] = u
+            pv[:] = v
+            del header, pu, pv
+            _register(buffer)
+            sp.set(segment=buffer.name, nbytes=u.nbytes + v.nbytes)
         return buffer
 
     @classmethod
@@ -354,7 +358,15 @@ class ShardBuffer:
         """
         from multiprocessing import shared_memory
 
-        shm = shared_memory.SharedMemory(name=name)
+        sp = trace.span(
+            "shm:adopt" if owner else "shm:attach", cat="shm", segment=name,
+        )
+        with sp:
+            return cls._attach(shm=shared_memory.SharedMemory(name=name),
+                               name=name, owner=owner, sp=sp)
+
+    @classmethod
+    def _attach(cls, *, shm, name, owner, sp) -> "ShardBuffer":
         with _registry_lock:
             owned_here = name in _REGISTRY
         if not owner and not owned_here and not _tracker_is_inherited():
@@ -392,6 +404,7 @@ class ShardBuffer:
             )
         if owner:
             _register(buffer)
+        sp.set(nbytes=buffer.nbytes)
         return buffer
 
     @property

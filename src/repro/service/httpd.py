@@ -8,7 +8,11 @@ pool.
 
 Routes::
 
-    GET    /healthz              liveness + job counts + worker kind
+    GET    /healthz              liveness + job counts + worker kind +
+                                 queue depth + per-worker in-flight jobs
+    GET    /metrics              Prometheus text exposition (job counts,
+                                 queue depth, worker churn, cache hit
+                                 ratio, shm savings, kernel histograms)
     GET    /scenarios            registered scenario names/descriptions
     GET    /jobs                 all job status snapshots
     POST   /jobs                 submit: {"spec": {...}} or
@@ -27,6 +31,9 @@ Routes::
     GET    /jobs/<id>/result     terminal payload (records, rank digest;
                                  for sweep parents the sweep table);
                                  409 while the job is still in flight
+    GET    /jobs/<id>/trace      Perfetto-loadable Chrome trace of a
+                                 terminal traced job (404 when the spec
+                                 had trace off; 409 while in flight)
     DELETE /jobs/<id>            cancel (only a PENDING job can be)
 
 Errors are JSON too: ``{"error": "..."}`` with a 4xx status.  The
@@ -90,6 +97,14 @@ class BenchmarkRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(payload)
 
+    def _reply_text(self, status: int, text: str, content_type: str) -> None:
+        payload = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
     def _error(self, status: int, message: str) -> None:
         self._reply(status, {"error": message})
 
@@ -116,7 +131,14 @@ class BenchmarkRequestHandler(BaseHTTPRequestHandler):
                         1 for j in jobs
                         if j["state"] in ("pending", "running")
                     ),
+                    "queue_depth": service.queue_depth(),
+                    "workers": service.running_jobs_by_worker(),
                 })
+            elif parts == ["metrics"]:
+                self._reply_text(
+                    200, service.metrics_text(),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
             elif parts == ["scenarios"]:
                 self._reply(200, {
                     "scenarios": [
@@ -137,6 +159,22 @@ class BenchmarkRequestHandler(BaseHTTPRequestHandler):
                     )
                 else:
                     self._reply(200, service.result_doc(parts[1]))
+            elif len(parts) == 3 and parts[:1] == ["jobs"] and parts[2] == "trace":
+                status = service.status(parts[1])
+                if status["state"] in ("pending", "running"):
+                    self._error(
+                        409, f"job {parts[1]} is {status['state']}; poll "
+                             f"GET /jobs/{parts[1]} until terminal"
+                    )
+                else:
+                    trace = service.job_trace(parts[1])
+                    if trace is None:
+                        self._error(
+                            404, f"job {parts[1]} recorded no trace "
+                                 f"(submit with \"trace\": true)"
+                        )
+                    else:
+                        self._reply(200, trace)
             else:
                 self._error(404, f"no route for GET {self.path}")
         except UnknownJobError as exc:

@@ -72,6 +72,10 @@ class ThreadWorkerPool:
         """Execute in-process; payload plus the live outcome."""
         return run_spec_job_with_outcome(spec_doc, cache_dir)
 
+    def stats(self) -> Dict[str, int]:
+        """Worker lifecycle counters; threads never spawn or crash."""
+        return {"workers_spawned": 0, "workers_crashed": 0}
+
     def shutdown(self, wait: bool = True) -> None:
         """Nothing to stop — job threads belong to the scheduler."""
 
@@ -172,6 +176,9 @@ class ProcessWorkerPool:
         self._handles: list = []
         self._next_index = 0
         self._terminated = False
+        # Lifecycle counters for the service's /metrics endpoint.
+        self._spawned = 0
+        self._crashed = 0
         # Tokens, not processes: a None token means "spawn lazily on
         # first use", so a thread-kind-sized test suite never pays for
         # interpreters it does not run jobs on.
@@ -218,6 +225,7 @@ class ProcessWorkerPool:
                 self._idle.put(None)
                 raise WorkerCrashError("worker pool is terminated")
             self._handles.append(fresh)
+            self._spawned += 1
         return fresh
 
     def _checkin(self, handle: _WorkerHandle, *, dead: bool = False) -> None:
@@ -229,7 +237,16 @@ class ProcessWorkerPool:
                     pass
                 handle.kill()
                 handle = None  # respawn lazily next checkout
+                self._crashed += 1
         self._idle.put(handle)
+
+    def stats(self) -> Dict[str, int]:
+        """Worker lifecycle counters (spawns include crash respawns)."""
+        with self._lock:
+            return {
+                "workers_spawned": self._spawned,
+                "workers_crashed": self._crashed,
+            }
 
     # ------------------------------------------------------------------
     def run_spec(

@@ -58,6 +58,7 @@ from repro.service.jobs import (
     JobStore,
     load_events,
 )
+from repro.service.metrics import ServiceMetrics
 from repro.service.pool import RemoteJobError, WorkerCrashError, make_worker_pool
 
 #: Default worker count (scheduler threads == workers for both kinds).
@@ -148,6 +149,10 @@ class BenchmarkService:
         self._jobs: Dict[str, Job] = {}
         self._futures: Dict[str, object] = {}
         self._inflight: Dict[str, str] = {}  # spec_hash -> primary job id
+        #: scheduler-thread name -> the job id it is currently driving
+        #: (the /healthz per-worker in-flight view).
+        self._running_jobs: Dict[str, str] = {}
+        self.metrics = ServiceMetrics()
         #: child job id -> parent sweep-job ids still waiting on it.
         self._cell_parents: Dict[str, Set[str]] = {}
         #: parent sweep-job id -> child job ids not yet terminal.
@@ -419,18 +424,22 @@ class BenchmarkService:
                 return
             job.state = JobState.RUNNING
             job.started_at = time.time()
+            self._running_jobs[threading.current_thread().name] = job_id
         payload: Optional[Dict[str, object]] = None
         outcome: Optional[RunOutcome] = None
         error: Optional[str] = None
+        t_dispatched = t_received = None
         try:
             # Guarded: a store I/O failure here must fail the job (and
             # wake its waiters via the finally below), never strand it
             # RUNNING with the spec hash pinned in the dedup map.
             self.store.append("running", {"job_id": job_id})
+            t_dispatched = time.time()
             payload, outcome = self._workers.run_spec(
                 job.spec.to_dict(),
                 str(self.cache_dir) if self.cache_dir is not None else None,
             )
+            t_received = time.time()
         except RemoteJobError as exc:
             # A worker-process job failure, formatted exactly as the
             # in-process exception would have been.
@@ -453,6 +462,8 @@ class BenchmarkService:
                     f"(l1={failed[0]['l1_distance']:.4f}, "
                     f"cosine={failed[0]['cosine_similarity']:.6f})"
                 )
+        if payload is not None and t_dispatched is not None:
+            self._append_job_spans(job, payload, t_dispatched, t_received)
         with self._lock:
             job.finished_at = time.time()
             job.result_payload = payload
@@ -463,6 +474,8 @@ class BenchmarkService:
             else:
                 job.state = JobState.SUCCEEDED
             self._inflight.pop(job.spec_hash, None)
+            self._running_jobs.pop(threading.current_thread().name, None)
+        self.metrics.record_job(job.state.value, payload)
         try:
             if payload is not None:
                 self.store.append(
@@ -477,6 +490,51 @@ class BenchmarkService:
             # strand waiters: the job *is* terminal in memory.
             job.done.set()
             self._child_finished(job_id)
+
+    def _append_job_spans(
+        self,
+        job: Job,
+        payload: Dict[str, object],
+        t_dispatched: float,
+        t_received: Optional[float],
+    ) -> None:
+        """Graft service-side job-lifecycle spans onto the run trace.
+
+        Only possible when the job's payload carries a trace (the spec
+        set ``trace``): the pipeline's collector recorded its creation
+        epoch, so service events — which live on the epoch clock — map
+        onto the run clock as ``epoch - epoch0``.  Negative ids keep
+        the grafted spans clear of the pipeline collector's positive id
+        space; negative *starts* (the queue began before the collector
+        existed) are fine — the Chrome export shifts all timestamps so
+        the earliest lands at zero.
+        """
+        trace_doc = payload.get("trace")
+        if not isinstance(trace_doc, dict):
+            return
+        epoch0 = trace_doc.get("epoch0")
+        if not isinstance(epoch0, (int, float)):
+            return
+        spans = trace_doc.setdefault("spans", [])
+        thread = threading.current_thread().name
+        t_result = time.time()
+
+        def graft(name: str, span_id: int, parent: Optional[int],
+                  begin: float, end: float) -> None:
+            spans.append({
+                "name": name, "cat": "job",
+                "start": begin - epoch0, "dur": max(0.0, end - begin),
+                "id": span_id, "parent": parent,
+                "proc": "service", "thread": thread,
+                "args": {"job_id": job.job_id},
+            })
+
+        graft(f"job:{job.job_id}", -1, None, job.submitted_at, t_result)
+        graft("job:queue", -2, -1, job.submitted_at, job.started_at)
+        graft("job:dispatch", -3, -1, job.started_at, t_dispatched)
+        if t_received is not None:
+            graft("job:run", -4, -1, t_dispatched, t_received)
+            graft("job:result", -5, -1, t_received, t_result)
 
     # ------------------------------------------------------------------
     # Sweep aggregation
@@ -561,6 +619,9 @@ class BenchmarkService:
             self._parent_waiting.pop(parent_id, None)
             event = "failed" if failures else "succeeded"
             doc = parent.result_doc()
+        # Parents aggregate their cells' records; the cells already fed
+        # the metrics one by one, so only the state counter moves here.
+        self.metrics.record_job(parent.state.value, None)
         try:
             self.store.append(event, doc)
         finally:
@@ -864,6 +925,54 @@ class BenchmarkService:
         with self._lock:
             return self._job(job_id).result_doc()
 
+    def job_trace(self, job_id: str) -> Optional[Dict[str, object]]:
+        """The Perfetto-loadable Chrome trace of a terminal traced job.
+
+        ``None`` when the job recorded no trace (spec had ``trace``
+        off, or the job failed before producing one).  The run-trace
+        document stored in the payload — pipeline spans plus the
+        service's grafted job-lifecycle spans — is rendered through
+        :func:`repro.core.trace.chrome_trace`.
+        """
+        from repro.core.trace import chrome_trace
+
+        with self._lock:
+            job = self._job(job_id)
+            payload = job.result_payload or {}
+            trace_doc = payload.get("trace")
+        if not isinstance(trace_doc, dict):
+            return None
+        return chrome_trace(trace_doc)
+
+    def queue_depth(self) -> int:
+        """Jobs submitted but not yet picked up by a scheduler thread."""
+        with self._lock:
+            return sum(
+                1 for job in self._jobs.values()
+                if job.state is JobState.PENDING
+            )
+
+    def running_jobs_by_worker(self) -> Dict[str, str]:
+        """Scheduler-thread name → the job id it is currently driving."""
+        with self._lock:
+            return dict(self._running_jobs)
+
+    def jobs_by_state(self) -> Dict[str, int]:
+        """Job counts per lifecycle state (the /metrics gauge)."""
+        with self._lock:
+            counts: Dict[str, int] = {}
+            for job in self._jobs.values():
+                counts[job.state.value] = counts.get(job.state.value, 0) + 1
+            return counts
+
+    def metrics_text(self) -> str:
+        """The Prometheus text document for ``GET /metrics``."""
+        return self.metrics.render(
+            jobs_by_state=self.jobs_by_state(),
+            queue_depth=self.queue_depth(),
+            worker_stats=self._workers.stats(),
+        )
+
     # ------------------------------------------------------------------
     # Cancellation
     # ------------------------------------------------------------------
@@ -885,6 +994,7 @@ class BenchmarkService:
             job.state = JobState.CANCELLED
             job.finished_at = time.time()
             self._inflight.pop(job.spec_hash, None)
+        self.metrics.record_job(JobState.CANCELLED.value, None)
         try:
             self.store.append("cancelled", {"job_id": job_id})
         finally:

@@ -56,7 +56,33 @@ def outcome_payload(outcome: RunOutcome) -> Dict[str, object]:
     ]
     if validations:
         doc["validation"] = validations
+    last = outcome.result
+    if last.trace is not None:
+        doc["trace"] = _json_safe(last.trace)
+    doc["observability"] = _observability_summary(outcome)
     return doc
+
+
+def _observability_summary(outcome: RunOutcome) -> Dict[str, object]:
+    """Counters the service's ``/metrics`` endpoint accumulates per job:
+    artifact-cache behaviour and shared-memory savings, summed over all
+    repeats (per-kernel seconds ride in ``records`` already)."""
+    cache_hits = 0
+    cache_misses = 0
+    shm_bytes_saved = 0
+    for result in outcome.results:
+        for kernel in result.kernels:
+            probe = kernel.details.get("artifact_cache")
+            if probe == "hit":
+                cache_hits += 1
+            elif probe == "miss":
+                cache_misses += 1
+            shm_bytes_saved += int(kernel.details.get("shm_bytes_saved", 0))
+    return {
+        "cache_hits": cache_hits,
+        "cache_misses": cache_misses,
+        "shm_bytes_saved": shm_bytes_saved,
+    }
 
 
 def run_spec_job(

@@ -226,3 +226,87 @@ class TestHTTPSweeps:
             with pytest.raises(urllib.error.HTTPError) as excinfo:
                 _post(f"{served}/jobs", body)
             assert excinfo.value.code == 400, body
+
+
+class TestObservabilityEndpoints:
+    """`/metrics`, `/jobs/<id>/trace`, and the extended `/healthz`."""
+
+    def _get_text(self, url: str):
+        with urllib.request.urlopen(url, timeout=30) as response:
+            return (
+                response.status,
+                response.headers.get("Content-Type", ""),
+                response.read().decode("utf-8"),
+            )
+
+    def test_healthz_reports_queue_and_workers(self, served):
+        status, doc = _get(f"{served}/healthz")
+        assert status == 200
+        assert doc["queue_depth"] == 0
+        assert doc["workers"] == {}
+
+    def test_metrics_before_any_job(self, served):
+        status, content_type, text = self._get_text(f"{served}/metrics")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        assert "repro_queue_depth 0" in text
+        assert "repro_workers_spawned_total 0" in text
+        assert "# TYPE repro_kernel_seconds histogram" in text
+
+    def test_metrics_accumulate_after_jobs(self, served):
+        _, doc = _post(f"{served}/jobs", {"scenario": "smoke"})
+        _poll_terminal(served, doc["job_id"])
+        _, _, text = self._get_text(f"{served}/metrics")
+        assert 'repro_jobs_finished_total{state="succeeded"} 1' in text
+        assert 'repro_jobs{state="succeeded"} 1' in text
+        # One smoke run = four kernels, each observed once.
+        assert 'repro_kernel_seconds_count{kernel="k3-pagerank"} 1' in text
+        assert 'le="+Inf"} 1' in text
+        assert "repro_artifact_cache_probes_total" in text
+
+    def test_trace_of_untraced_job_is_404(self, served):
+        _, doc = _post(f"{served}/jobs", {"scenario": "smoke"})
+        _poll_terminal(served, doc["job_id"])
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(
+                f"{served}/jobs/{doc['job_id']}/trace", timeout=30
+            )
+        assert excinfo.value.code == 404
+        assert "trace" in excinfo.value.read().decode("utf-8")
+
+    def test_trace_of_inflight_job_is_409(self, served):
+        _, doc = _post(f"{served}/jobs", {"spec": {"scale": 10}})
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(
+                    f"{served}/jobs/{doc['job_id']}/trace", timeout=30
+                )
+            assert excinfo.value.code == 409
+        finally:
+            _poll_terminal(served, doc["job_id"])
+
+    def test_traced_job_serves_a_chrome_trace(self, served):
+        _, doc = _post(
+            f"{served}/jobs",
+            {"scenario": "smoke", "overrides": {"trace": True}},
+        )
+        final = _poll_terminal(served, doc["job_id"])
+        assert final["state"] == "succeeded"
+        status, trace_doc = _get(f"{served}/jobs/{doc['job_id']}/trace")
+        assert status == 200
+        assert trace_doc["displayTimeUnit"] == "ms"
+        complete = [
+            e for e in trace_doc["traceEvents"] if e.get("ph") == "X"
+        ]
+        names = {e["name"] for e in complete}
+        # Pipeline-side and service-side lifecycle spans on one axis.
+        for required in (
+            "pipeline", "stage:k0-generate", "stage:k1-sort",
+            "stage:k2-filter", "stage:k3-pagerank",
+            f"job:{doc['job_id']}", "job:queue", "job:dispatch",
+            "job:run", "job:result",
+        ):
+            assert required in names, (required, sorted(names))
+        assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in complete)
+        procs = {e["pid"] for e in complete}
+        assert len(procs) >= 2  # pipeline "main" + "service" rows

@@ -98,6 +98,17 @@ class TestRunSpecVersioning:
         assert spec.shard_plane == "pipe"
         assert spec.cache_mmap is False
 
+    def test_v4_document_migrates(self):
+        # v4 predates the trace plane; the migration only restamps —
+        # tracing defaults off, reproducing v4 behaviour exactly.
+        spec = RunSpec.from_dict({
+            "scale": 6, "execution": "async",
+            "shard_plane": "shm", "spec_version": 4,
+        })
+        assert spec.spec_version == SPEC_VERSION
+        assert spec.shard_plane == "shm"
+        assert spec.trace is False
+
     def test_v1_chains_to_current(self):
         spec = RunSpec.from_dict(
             {"scale": 6, "validate": True, "spec_version": 1}
@@ -105,6 +116,7 @@ class TestRunSpecVersioning:
         assert spec.spec_version == SPEC_VERSION
         assert spec.shard_plane == "pipe"
         assert spec.cache_mmap is False
+        assert spec.trace is False
 
     def test_constructor_refuses_stale_version(self):
         with pytest.raises(ValueError, match="migrated"):

@@ -444,3 +444,47 @@ class TestExitCodeDiscipline:
         assert "... backend=numpy" in captured.err
         assert "... backend=numpy" not in captured.out
         assert "k3-pagerank" in captured.out  # the table is the payload
+
+
+class TestTraceFlag:
+    def test_run_trace_writes_a_valid_chrome_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        assert main(["run", "--scale", "6", "--backend", "numpy",
+                     "--execution", "async", "--trace",
+                     str(trace_path)]) == 0
+        err = capsys.readouterr().err
+        assert "trace written to" in err
+        doc = json.loads(trace_path.read_text())
+        names = {e["name"] for e in doc["traceEvents"]
+                 if e.get("ph") == "X"}
+        for required in ("pipeline", "schedule", "stage:k3-pagerank"):
+            assert required in names
+
+    def test_trace_flag_validates_via_check_trace_cli(self, tmp_path):
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        trace_path = tmp_path / "trace.json"
+        assert main(["run", "--scale", "6", "--backend", "numpy",
+                     "--execution", "async", "--trace",
+                     str(trace_path)]) == 0
+        repo = Path(__file__).resolve().parents[2]
+        proc = subprocess.run(
+            [sys.executable, str(repo / "tools" / "check_trace.py"),
+             str(trace_path), "--require",
+             "pipeline,stage:k0-generate,stage:k3-pagerank,schedule"],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "ok" in proc.stdout
+
+    def test_trace_flag_composes_with_scenario(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        assert main(["run", "--scenario", "smoke", "--trace",
+                     str(trace_path)]) == 0
+        assert trace_path.exists()
+
+    def test_untraced_run_writes_nothing(self, tmp_path, capsys):
+        assert main(["run", "--scale", "6", "--backend", "numpy"]) == 0
+        assert "trace written" not in capsys.readouterr().err

@@ -303,3 +303,19 @@ class TestCompaction:
 
     def test_compact_disabled_store_is_noop(self):
         assert JobStore(None).compact() == 0
+
+
+class TestReplayTrace:
+    def test_traced_job_replays_with_its_trace(self, tmp_path):
+        store = tmp_path / "jobs.jsonl"
+        traced = SPEC.with_overrides(trace=True)
+        with _service(store) as service:
+            job_id = service.submit(traced)
+            service.result(job_id, timeout=120)
+            original = service.job_trace(job_id)
+            assert original is not None
+        with _service(store) as replayed:
+            restored = replayed.job_trace(job_id)
+            assert restored == original
+            doc = replayed.result_doc(job_id)
+            assert doc["observability"]["cache_misses"] >= 0

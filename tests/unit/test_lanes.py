@@ -382,3 +382,56 @@ class TestProcessLanePool:
 
     def test_default_worker_count_sane(self):
         assert DEFAULT_LANE_WORKERS >= 1
+
+
+class TestTracedLaneDispatch:
+    """Worker-side spans ship back and re-anchor onto the parent clock."""
+
+    def test_untraced_dispatch_ships_no_spans(self, pool, tmp_path):
+        from repro.core import trace
+
+        assert trace.current() is None
+        info = pool.run(
+            "encode-shard", _encode_payload(tmp_path, 20, *_edges())
+        )
+        assert info.num_edges == 200  # plain 2-tuple reply path
+
+    def test_worker_spans_merge_under_the_dispatch_span(
+        self, pool, tmp_path
+    ):
+        from repro.core import trace
+
+        collector = trace.TraceCollector()
+        with trace.activate(collector):
+            _, queue_wait = pool.run_timed(
+                "encode-shard", _encode_payload(tmp_path, 21, *_edges())
+            )
+        spans = {s.name: s for s in collector.spans()}
+        assert "lane-dispatch:encode-shard" in spans
+        assert "lane-op:encode-shard" in spans
+        dispatch = spans["lane-dispatch:encode-shard"]
+        op = spans["lane-op:encode-shard"]
+        assert dispatch.args["queue_wait"] == queue_wait
+        assert op.parent_id == dispatch.span_id
+        assert op.proc.startswith("repro-lane-") or op.proc != dispatch.proc
+        # Re-anchoring: the worker's op interval must land inside the
+        # parent's dispatch interval (5ms slack for handshake skew).
+        assert op.start >= dispatch.start - 0.005
+        assert (
+            op.start + op.dur
+            <= dispatch.start + dispatch.dur + 0.005
+        )
+        assert op.dur <= dispatch.dur + 0.005
+
+    def test_merged_span_ids_stay_unique(self, pool, tmp_path):
+        from repro.core import trace
+
+        collector = trace.TraceCollector()
+        with trace.activate(collector):
+            for index in (22, 23):
+                pool.run_timed(
+                    "encode-shard",
+                    _encode_payload(tmp_path, index, *_edges()),
+                )
+        ids = [s.span_id for s in collector.spans()]
+        assert len(ids) == len(set(ids))

@@ -314,3 +314,103 @@ class TestResultLifetime:
         result = graph.run(max_workers=2)
         assert "root" not in result.results
         assert result.results["a"] == 6 and result.results["b"] == 7
+
+
+class TestTracedScheduling:
+    """Span emission and span↔timing parity for traced graph runs."""
+
+    def _traced_run(self, graph, **kwargs):
+        from repro.core import trace
+
+        collector = trace.TraceCollector()
+        with trace.activate(collector):
+            result = graph.run(**kwargs)
+        return result, collector
+
+    def test_untraced_run_records_nothing(self):
+        graph = TaskGraph()
+        graph.add("a", lambda r: 1)
+        result = graph.run()
+        assert result.trace_origin is None
+
+    def test_task_spans_nest_under_the_schedule_span(self):
+        graph = TaskGraph()
+        graph.add("a", lambda r: 1, group="k0")
+        graph.add("b", lambda r: r["a"] + 1, deps=("a",), group="k1")
+        result, collector = self._traced_run(graph, max_workers=2)
+        assert result.trace_origin is not None
+        spans = {s.name: s for s in collector.spans()}
+        assert set(spans) == {"schedule", "task:a", "task:b"}
+        schedule = spans["schedule"]
+        assert schedule.args["tasks"] == 2
+        assert schedule.dur == result.wall_seconds
+        for name in ("task:a", "task:b"):
+            assert spans[name].cat == "task"
+            assert spans[name].parent_id == schedule.span_id
+
+    def test_span_durations_match_timings_bitwise(self):
+        graph = TaskGraph()
+        graph.add("a", lambda r: time.sleep(0.01), group="k0")
+        graph.add("b", lambda r: time.sleep(0.01), group="k0")
+        graph.add("c", lambda r: time.sleep(0.005), deps=("a", "b"),
+                  group="k1")
+        result, collector = self._traced_run(graph, max_workers=2)
+        spans = {s.name: s for s in collector.spans()}
+        for name, timing in result.timings.items():
+            span_row = spans[f"task:{name}"]
+            # Same perf_counter samples, same float arithmetic: the
+            # spans are the timings, not a second measurement.
+            assert span_row.dur - span_row.args["queue_wait"] \
+                == timing.seconds
+            # start parity is up to one float-add rounding (the span is
+            # t0-relative, the timing clock0-relative).
+            assert span_row.start == pytest.approx(
+                result.trace_origin + timing.started, abs=1e-9
+            )
+
+    def test_group_busy_rederivable_from_spans(self):
+        from repro.core.trace import task_busy_seconds
+
+        graph = TaskGraph()
+        graph.add("a", lambda r: time.sleep(0.01), group="k0")
+        graph.add("b", lambda r: time.sleep(0.01), deps=("a",), group="k1")
+        result, collector = self._traced_run(graph, max_workers=2)
+        derived = task_busy_seconds(collector.span_docs())
+        busy = result.group_busy_seconds()
+        assert set(derived) == set(busy)
+        for group, seconds in busy.items():
+            assert derived[group] == pytest.approx(seconds, abs=1e-6)
+
+    def test_lane_busy_rederivable_from_spans(self):
+        from repro.core.trace import task_busy_seconds
+
+        class StubPool:
+            def run_task_timed(self, task):
+                time.sleep(0.02)
+                return task.payload["value"], 0.015
+
+        graph = TaskGraph()
+        graph.add("t", lambda r: LaneTask("any", {"value": 5}),
+                  lane="process", group="codec")
+        graph.add("u", lambda r: time.sleep(0.005), group="k2")
+        result, collector = self._traced_run(
+            graph, max_workers=2, lane_pool=StubPool()
+        )
+        derived = task_busy_seconds(collector.span_docs(), key="lane")
+        busy = result.lane_busy_seconds()
+        assert set(derived) == set(busy)
+        for lane, seconds in busy.items():
+            assert derived[lane] == pytest.approx(seconds, abs=1e-6)
+
+    def test_failing_task_span_still_closes_with_error(self):
+        graph = TaskGraph()
+        graph.add("bad", lambda r: 1 / 0)
+        from repro.core import trace
+
+        collector = trace.TraceCollector()
+        with trace.activate(collector):
+            with pytest.raises(SchedulerError):
+                graph.run()
+        spans = {s.name: s for s in collector.spans()}
+        assert "task:bad" in spans
+        assert spans["task:bad"].dur >= 0.0

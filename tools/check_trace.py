@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Validate a Chrome/Perfetto ``trace.json`` produced by ``repro run --trace``.
+
+Checks the structural contract the trace plane promises (see
+``src/repro/core/trace.py`` and ARCHITECTURE.md "Observability"):
+
+* the document is ``{"traceEvents": [...], "displayTimeUnit": "ms"}``;
+* every complete (``"ph": "X"``) event carries a non-empty ``name``,
+  integer ``pid``/``tid``, and non-negative ``ts``/``dur`` microsecond
+  fields (re-anchored worker clocks must never produce negative
+  timestamps after normalization);
+* metadata (``"ph": "M"``) events precede all complete events, so the
+  process/thread labels resolve before any slice references them;
+* every span name the caller requires (``--require``) is present.
+
+Importable (``load`` / ``validate``) for the test suite, and a CLI for
+CI smoke jobs::
+
+    python tools/check_trace.py /tmp/trace.json \
+        --require pipeline,stage:k3-pagerank
+
+Exit codes: 0 valid, 1 contract violation, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+
+class TraceContractError(ValueError):
+    """The trace document violates the exporter's structural contract."""
+
+
+def load(path) -> Dict[str, object]:
+    """Read and JSON-parse a trace file (no validation)."""
+    return json.loads(Path(path).read_text())
+
+
+def validate(
+    doc: Dict[str, object], require: Sequence[str] = ()
+) -> Dict[str, int]:
+    """Check the contract; return summary counts or raise.
+
+    Returns ``{"events": N, "spans": N, "processes": N}`` on success and
+    raises :class:`TraceContractError` naming the first violation.
+    """
+    if not isinstance(doc, dict):
+        raise TraceContractError(f"trace must be an object, got {type(doc).__name__}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise TraceContractError("trace has no traceEvents list")
+    if doc.get("displayTimeUnit") != "ms":
+        raise TraceContractError(
+            f"displayTimeUnit must be 'ms', got {doc.get('displayTimeUnit')!r}"
+        )
+    names: set = set()
+    pids: set = set()
+    seen_complete = False
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise TraceContractError(f"event #{index} is not an object")
+        phase = event.get("ph")
+        if phase == "M":
+            if seen_complete:
+                raise TraceContractError(
+                    f"metadata event #{index} appears after complete events"
+                )
+            continue
+        if phase != "X":
+            raise TraceContractError(
+                f"event #{index} has unexpected phase {phase!r} "
+                f"(exporter emits only M and X)"
+            )
+        seen_complete = True
+        name = event.get("name")
+        if not name or not isinstance(name, str):
+            raise TraceContractError(f"event #{index} has no name")
+        for field in ("pid", "tid"):
+            if not isinstance(event.get(field), int):
+                raise TraceContractError(
+                    f"event #{index} ({name}): {field} must be an int, "
+                    f"got {event.get(field)!r}"
+                )
+        for field in ("ts", "dur"):
+            value = event.get(field)
+            if not isinstance(value, (int, float)) or value < 0:
+                raise TraceContractError(
+                    f"event #{index} ({name}): {field} must be a "
+                    f"non-negative number, got {value!r}"
+                )
+        names.add(name)
+        pids.add(event["pid"])
+    missing = [name for name in require if name not in names]
+    if missing:
+        raise TraceContractError(
+            f"required span names missing from trace: {', '.join(missing)} "
+            f"(have: {', '.join(sorted(names))})"
+        )
+    return {
+        "events": len(events),
+        "spans": len(names),
+        "processes": len(pids),
+    }
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", help="trace.json to validate")
+    parser.add_argument(
+        "--require", default="",
+        help="comma-separated span names that must appear in the trace",
+    )
+    args = parser.parse_args(argv)
+    require = [part.strip() for part in args.require.split(",") if part.strip()]
+    try:
+        doc = load(args.path)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        summary = validate(doc, require)
+    except TraceContractError as exc:
+        print(f"error: {args.path}: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"{args.path}: ok — {summary['events']} events, "
+        f"{summary['spans']} distinct span names, "
+        f"{summary['processes']} process(es)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,6 +13,13 @@ small sweep grid over the smoke scenario —
 asserting every cell succeeded and the assembled sweep table carries
 one record row per (cell, kernel) plus a rank digest per cell.
 
+The special name ``observability`` exercises the trace plane: it
+submits the smoke scenario with ``{"trace": true}`` overrides, fetches
+``GET /jobs/<id>/trace`` (asserting the Chrome export carries the
+pipeline/stage/job lifecycle span names), then scrapes ``GET /metrics``
+(asserting the Prometheus families the service promises) and checks
+``/healthz`` reports queue depth and per-worker in-flight maps.
+
 Exits nonzero (via assertion) if the job fails, is cancelled, or does
 not finish in time.
 """
@@ -26,6 +33,27 @@ import urllib.request
 
 #: The grid the ``sweep`` mode submits (2 backends x 2 scales).
 SWEEP_GRID = {"scales": [6, 7], "backends": ["numpy", "scipy"]}
+
+#: Span names the ``observability`` mode requires in a job's trace.
+REQUIRED_SPANS = (
+    "pipeline",
+    "stage:k0-generate",
+    "stage:k1-sort",
+    "stage:k2-filter",
+    "stage:k3-pagerank",
+    "job:queue",
+    "job:run",
+)
+
+#: Metric families the ``observability`` mode requires in /metrics.
+REQUIRED_METRICS = (
+    "repro_jobs_finished_total",
+    "repro_queue_depth",
+    "repro_workers_spawned_total",
+    "repro_artifact_cache_probes_total",
+    "repro_shm_bytes_saved_total",
+    "repro_kernel_seconds_bucket",
+)
 
 
 def _post_job(base: str, body: dict) -> dict:
@@ -59,6 +87,8 @@ def main(argv: list) -> int:
 
     if scenario == "sweep":
         body = {"scenario": "smoke", "sweep": SWEEP_GRID}
+    elif scenario == "observability":
+        body = {"scenario": "smoke", "overrides": {"trace": True}}
     else:
         body = {"scenario": scenario}
     job = _post_job(base, body)
@@ -87,6 +117,37 @@ def main(argv: list) -> int:
         assert len(result["records"]) == 4, result
         assert result["rank_sha256"], result
         print(f"job succeeded; rank digest {result['rank_sha256'][:16]}…")
+
+    if scenario == "observability":
+        trace = json.loads(
+            urllib.request.urlopen(
+                f"{base}/jobs/{job_id}/trace", timeout=30
+            ).read()
+        )
+        events = trace["traceEvents"]
+        names = {e["name"] for e in events if e.get("ph") == "X"}
+        missing = [n for n in REQUIRED_SPANS if n not in names]
+        assert not missing, f"trace missing spans {missing}; have {sorted(names)}"
+        assert all(
+            e["ts"] >= 0 and e["dur"] >= 0
+            for e in events if e.get("ph") == "X"
+        ), "trace has negative timestamps/durations"
+        print(f"trace ok: {len(events)} events, {len(names)} span names")
+
+        metrics = urllib.request.urlopen(
+            f"{base}/metrics", timeout=30
+        ).read().decode("utf-8")
+        missing = [m for m in REQUIRED_METRICS if m not in metrics]
+        assert not missing, f"/metrics missing families {missing}"
+        assert 'repro_jobs_finished_total{state="succeeded"}' in metrics, \
+            metrics
+        print(f"metrics ok: {len(metrics.splitlines())} lines")
+
+        health = json.loads(
+            urllib.request.urlopen(f"{base}/healthz", timeout=30).read()
+        )
+        assert "queue_depth" in health and "workers" in health, health
+        print(f"healthz ok: {health}")
     return 0
 
 
