@@ -555,6 +555,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
     """Run the benchmark job service's HTTP front end until ^C."""
     from repro.service.httpd import run_server
 
+    worker_listen = None
+    if args.listen_workers is not None:
+        host, _, port = str(args.listen_workers).rpartition(":")
+        if not host:  # a bare port listens on loopback
+            host = "127.0.0.1"
+        try:
+            worker_listen = (host, int(port))
+        except ValueError:
+            raise ValueError(
+                f"--listen-workers takes HOST:PORT, got "
+                f"{args.listen_workers!r}"
+            )
     return run_server(
         host=args.host,
         port=args.port,
@@ -563,6 +575,24 @@ def cmd_serve(args: argparse.Namespace) -> int:
         cache_dir=Path(args.cache_dir) if args.cache_dir else None,
         store_path=Path(args.store) if args.store else None,
         compact=args.compact,
+        worker_listen=worker_listen,
+        heartbeat_timeout=args.heartbeat_timeout,
+    )
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    """Run a remote worker agent until the service shuts it down."""
+    from repro.service.agent import run_worker
+
+    return run_worker(
+        args.connect,
+        cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+        worker_id=args.worker_id,
+        heartbeat_interval=args.heartbeat_interval,
+        reconnect_delay=args.reconnect_delay,
+        max_reconnects=args.max_reconnects,
+        artifact_sync=not args.no_artifact_sync,
+        job_delay=args.job_delay,
     )
 
 

@@ -325,10 +325,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--worker-kind", default="thread",
                        choices=list(WORKER_KINDS),
                        help="where jobs execute: thread (in-process "
-                            "worker threads) or process (a pool of "
-                            "long-lived worker processes; specs ship "
-                            "as JSON, results return as the job "
-                            "store's record/rank-digest documents)")
+                            "worker threads), process (a pool of "
+                            "long-lived worker processes), or remote "
+                            "(TCP agents started with `repro-pipeline "
+                            "worker --connect`); specs ship as JSON, "
+                            "results return as the job store's "
+                            "record/rank-digest documents either way")
     serve.add_argument("--cache-dir", default=None,
                        help="artifact cache shared by all jobs whose "
                             "spec allows it")
@@ -343,7 +345,52 @@ def build_parser() -> argparse.ArgumentParser:
                             "periodically while serving (drops "
                             "superseded lifecycle events, keeps "
                             "terminal results)")
+    serve.add_argument("--listen-workers", default=None,
+                       metavar="HOST:PORT",
+                       help="with --worker-kind remote: TCP address to "
+                            "accept worker registrations on (port 0 "
+                            "picks a free one; the bound address is "
+                            "printed as a `workers on HOST:PORT` line)")
+    serve.add_argument("--heartbeat-timeout", type=float, default=10.0,
+                       help="with --worker-kind remote: seconds without "
+                            "a heartbeat before a worker is declared "
+                            "lost and its in-flight job requeued")
     serve.set_defaults(func=commands.cmd_serve)
+
+    worker = sub.add_parser(
+        "worker",
+        help="run a remote worker agent: connect to a `serve "
+             "--worker-kind remote --listen-workers` service over TCP, "
+             "execute dispatched jobs, stream results back, and "
+             "heartbeat for liveness",
+    )
+    worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="the service's worker-listen address (a "
+                             "bare port means 127.0.0.1)")
+    worker.add_argument("--cache-dir", default=None,
+                        help="this host's artifact cache; warm K0/K1 "
+                             "entries sync to/from the service over "
+                             "GET/PUT /artifacts so hits survive host "
+                             "boundaries")
+    worker.add_argument("--worker-id", default=None,
+                        help="name announced at registration (default: "
+                             "hostname-pid)")
+    worker.add_argument("--heartbeat-interval", type=float, default=None,
+                        help="seconds between heartbeats (default: the "
+                             "service-advertised interval)")
+    worker.add_argument("--reconnect-delay", type=float, default=1.0,
+                        help="seconds to wait before redialing a lost "
+                             "connection")
+    worker.add_argument("--max-reconnects", type=int, default=None,
+                        help="give up after this many consecutive "
+                             "failed dials (default: retry forever)")
+    worker.add_argument("--no-artifact-sync", action="store_true",
+                        help="skip the cross-host artifact sync even "
+                             "when --cache-dir is set")
+    worker.add_argument("--job-delay", type=float, default=0.0,
+                        help="sleep this long before executing each "
+                             "job (fault-injection/testing aid)")
+    worker.set_defaults(func=commands.cmd_worker)
 
     info = sub.add_parser(
         "info", help="list backends/generators/scenarios/experiments"

@@ -37,9 +37,11 @@ from __future__ import annotations
 
 import errno
 import hashlib
+import io
 import json
 import os
 import shutil
+import tarfile
 import tempfile
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -631,6 +633,95 @@ class ArtifactCache:
                     continue  # vanished mid-walk (its producer finished)
                 if newest < cutoff:
                     shutil.rmtree(path, ignore_errors=True)
+
+    # ------------------------------------------------------------------
+    # Cross-host entry transport (the distributed worker plane's
+    # GET/PUT /artifacts sync endpoint packs entries with these)
+    # ------------------------------------------------------------------
+    def export_entry(self, kind: str, key: str) -> Optional[bytes]:
+        """Pack one published entry as an uncompressed tar archive.
+
+        Returns ``None`` when the entry does not exist (or is torn —
+        no manifest).  The entry's shared lock is held for the read so
+        a concurrent prune cannot delete files mid-pack; archive member
+        names are entry-relative, so :meth:`import_entry` on any host
+        reproduces the exact directory.  Keys are content-addressed by
+        the *producing config*, which is what makes a transplanted
+        entry safe: the receiving host would have produced the same
+        bytes under the same key.
+        """
+        if kind not in self.KINDS:
+            raise ValueError(f"kind must be one of {self.KINDS}, got {kind!r}")
+        entry = self.entry_dir(kind, key)
+        lock = self.entry_lock(kind, key)
+        lock.acquire(shared=True)
+        try:
+            if not (entry / "manifest.json").is_file():
+                return None
+            buffer = io.BytesIO()
+            with tarfile.open(fileobj=buffer, mode="w") as archive:
+                for path in sorted(entry.rglob("*")):
+                    if path.is_file():
+                        archive.add(
+                            path, arcname=path.relative_to(entry).as_posix()
+                        )
+            self._touch(entry)
+            return buffer.getvalue()
+        except OSError:
+            return None  # entry vanished mid-pack; report a miss
+        finally:
+            lock.release()
+
+    def import_entry(self, kind: str, key: str, data: bytes) -> bool:
+        """Unpack an :meth:`export_entry` archive as a published entry.
+
+        Extraction is defensive — only regular files, entry-relative
+        paths (no absolute members, no ``..`` traversal, no symlinks) —
+        into a private staging directory, published with the same
+        atomic rename the producers use.  Losing the rename race to a
+        concurrent producer/import counts as success (the winner's
+        bytes are equivalent by content addressing).  Returns ``False``
+        for a malformed or unsafe archive.
+        """
+        if kind not in self.KINDS:
+            raise ValueError(f"kind must be one of {self.KINDS}, got {kind!r}")
+        entry = self.entry_dir(kind, key)
+        if (entry / "manifest.json").is_file():
+            self._touch(entry)
+            return True  # already warm locally
+        entry.parent.mkdir(parents=True, exist_ok=True)
+        staging = Path(tempfile.mkdtemp(
+            prefix=f"{entry.name}.tmp-", dir=entry.parent
+        ))
+        try:
+            with tarfile.open(fileobj=io.BytesIO(data), mode="r") as archive:
+                for member in archive.getmembers():
+                    if not member.isfile():
+                        return False  # symlink/device/dir member: refuse
+                    relative = Path(member.name)
+                    if relative.is_absolute() or ".." in relative.parts:
+                        return False
+                    target = staging / relative
+                    target.parent.mkdir(parents=True, exist_ok=True)
+                    source = archive.extractfile(member)
+                    if source is None:
+                        return False
+                    with open(target, "wb") as sink:
+                        shutil.copyfileobj(source, sink)
+            if not (staging / "manifest.json").is_file():
+                return False  # a torn entry must never publish
+            try:
+                os.replace(staging, entry)
+            except OSError:
+                # A concurrent producer or import won the rename; its
+                # entry is content-equivalent, so this import succeeded
+                # in effect.
+                pass
+            return True
+        except (tarfile.TarError, ValueError, OSError):
+            return False
+        finally:
+            shutil.rmtree(staging, ignore_errors=True)
 
     def remove(self, key: str, kind: Optional[str] = None) -> List[CacheEntry]:
         """Delete entries matching ``key`` (optionally restricted to one

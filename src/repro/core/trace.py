@@ -409,6 +409,40 @@ def clock_offset(parent_send: float, parent_recv: float,
     return (parent_send + parent_recv) / 2.0 - worker_clock
 
 
+# -- post-hoc span grafting --------------------------------------------
+
+def graft_span(trace_doc: Dict[str, object], *, name: str,
+               span_id: int, begin_epoch: float, end_epoch: float,
+               parent_id: Optional[int] = None, cat: str = "job",
+               proc: str = "service", thread: str = "?",
+               args: Optional[Dict[str, object]] = None) -> bool:
+    """Append one epoch-clock interval onto a portable trace document.
+
+    Used by layers that observed an interval on the wall clock *around*
+    a traced run — the service's job lifecycle, a remote worker agent's
+    dispatch handling — after the collector is gone.  The document's
+    ``epoch0`` anchor maps epochs onto the run clock
+    (``epoch - epoch0``); without one the graft is refused (returns
+    ``False``) rather than guessed.  Callers use *negative* ids to stay
+    clear of the collector's positive id space.
+    """
+    epoch0 = trace_doc.get("epoch0")
+    if not isinstance(epoch0, (int, float)):
+        return False
+    spans = trace_doc.setdefault("spans", [])
+    if not isinstance(spans, list):
+        return False
+    spans.append({
+        "name": name, "cat": cat,
+        "start": begin_epoch - epoch0,
+        "dur": max(0.0, end_epoch - begin_epoch),
+        "id": span_id, "parent": parent_id,
+        "proc": proc, "thread": thread,
+        "args": dict(args or {}),
+    })
+    return True
+
+
 # -- derived metrics ---------------------------------------------------
 
 def task_busy_seconds(span_docs: Sequence[Dict[str, object]],

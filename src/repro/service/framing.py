@@ -1,0 +1,132 @@
+"""Length-prefixed JSON framing for the remote worker transport.
+
+The distributed worker plane ships the same JSON documents the
+pipe-based :class:`~repro.service.pool.ProcessWorkerPool` already
+speaks, but over a TCP stream.  A stream has no message boundaries, so
+every document travels as one *frame*::
+
+    [4-byte big-endian payload length] [UTF-8 JSON payload]
+
+That is the entire protocol — no negotiation, no compression, no
+pickle (a hostile or merely version-skewed peer can send bytes, never
+objects).  Both ends enforce a maximum frame size so a corrupt or
+malicious length prefix cannot make the receiver allocate gigabytes.
+
+Failure taxonomy — load-bearing for the heartbeat/requeue machinery:
+
+* a clean EOF *between* frames (``recv() -> None``) is an orderly
+  close: the peer went away at a message boundary;
+* an EOF *inside* a frame, an oversize length, or an unparseable
+  payload raises :class:`FrameError` — a torn/corrupt stream.  The
+  pool treats both the same way (the worker is lost, its in-flight job
+  requeues) but the distinction rides in the reason string that lands
+  in the job store's ``requeued`` event.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+from typing import Dict, Optional
+
+#: Frames above this are refused on both send and receive.  Result
+#: documents with traces run to a few MB at paper scales; 128 MiB is
+#: comfortably past any legitimate payload while still bounding a
+#: corrupt length prefix.
+MAX_FRAME_BYTES = 128 * 1024 * 1024
+
+_LENGTH = struct.Struct("!I")
+
+
+class FrameError(RuntimeError):
+    """The stream violated the framing protocol (torn/corrupt frame)."""
+
+
+class FrameChannel:
+    """One socket speaking length-prefixed JSON documents.
+
+    Sends are serialized by a lock so multiple threads (the agent's
+    heartbeat sender beside its job executor) can share the channel;
+    receives are expected from a single reader thread.
+    """
+
+    def __init__(
+        self, sock: socket.socket, *, max_frame: int = MAX_FRAME_BYTES
+    ) -> None:
+        self.sock = sock
+        self.max_frame = int(max_frame)
+        self._send_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def send(self, doc: Dict[str, object]) -> None:
+        """Frame and send one document (raises ``OSError`` on a dead
+        peer — the caller owns lost-connection handling)."""
+        payload = json.dumps(doc, sort_keys=True, default=str).encode("utf-8")
+        if len(payload) > self.max_frame:
+            raise FrameError(
+                f"refusing to send a {len(payload)}-byte frame "
+                f"(max {self.max_frame})"
+            )
+        with self._send_lock:
+            self.sock.sendall(_LENGTH.pack(len(payload)) + payload)
+
+    def recv(self) -> Optional[Dict[str, object]]:
+        """Receive one document.
+
+        Returns ``None`` on a clean EOF at a frame boundary; raises
+        :class:`FrameError` on a torn frame, an oversize or garbage
+        length prefix, or an unparseable payload.  ``OSError`` (reset,
+        timeout) propagates — the callers map it to worker-lost.
+        """
+        header = self._recv_exact(_LENGTH.size, allow_eof=True)
+        if header is None:
+            return None
+        (length,) = _LENGTH.unpack(header)
+        if length > self.max_frame:
+            raise FrameError(
+                f"frame length {length} exceeds the {self.max_frame}-byte "
+                f"limit (corrupt or hostile prefix)"
+            )
+        payload = self._recv_exact(length, allow_eof=False)
+        try:
+            doc = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise FrameError(f"unparseable frame payload: {exc}") from None
+        if not isinstance(doc, dict):
+            raise FrameError(
+                f"frame payload must be a JSON object, got "
+                f"{type(doc).__name__}"
+            )
+        return doc
+
+    def _recv_exact(
+        self, count: int, *, allow_eof: bool
+    ) -> Optional[bytes]:
+        chunks = []
+        remaining = count
+        while remaining:
+            chunk = self.sock.recv(min(remaining, 1 << 20))
+            if not chunk:
+                if allow_eof and remaining == count:
+                    return None  # EOF at a frame boundary: orderly close
+                raise FrameError(
+                    f"connection closed mid-frame "
+                    f"({count - remaining} of {count} bytes received)"
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the underlying socket (idempotent, best-effort)."""
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass

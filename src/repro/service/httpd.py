@@ -9,10 +9,24 @@ pool.
 Routes::
 
     GET    /healthz              liveness + job counts + worker kind +
-                                 queue depth + per-worker in-flight jobs
+                                 queue depth + per-worker health rows
+                                 (kind, transport, host, heartbeat age,
+                                 in-flight job id)
     GET    /metrics              Prometheus text exposition (job counts,
-                                 queue depth, worker churn, cache hit
-                                 ratio, shm savings, kernel histograms)
+                                 queue depth, worker churn + heartbeat
+                                 ages, cache hit ratio, artifact-sync
+                                 transfers, shm savings, kernel
+                                 histograms)
+    GET    /artifacts            index of published artifact-cache
+                                 entries (the cross-host sync surface)
+    GET    /artifacts/<kind>/<key>
+                                 one cache entry as an uncompressed tar
+                                 (404 on a miss — the worker generates
+                                 locally instead)
+    PUT    /artifacts/<kind>/<key>
+                                 publish one entry tar (workers push
+                                 fresh K0/K1 artifacts so later workers
+                                 on other hosts hit)
     GET    /scenarios            registered scenario names/descriptions
     GET    /jobs                 all job status snapshots
     POST   /jobs                 submit: {"spec": {...}} or
@@ -57,6 +71,10 @@ from repro.service.service import BenchmarkService, UnknownJobError
 
 #: Keys a ``{"scenario": ..., "sweep": {...}}`` grid object may carry.
 _SWEEP_GRID_KEYS = {"scales", "backends", "repeats"}
+
+#: PUT /artifacts body cap — far above any real K0/K1 entry at service
+#: scales, small enough that a hostile upload cannot balloon memory.
+_MAX_ARTIFACT_BYTES = 512 * 1024 * 1024
 
 logger = logging.getLogger("repro.service.http")
 
@@ -123,22 +141,34 @@ class BenchmarkRequestHandler(BaseHTTPRequestHandler):
         try:
             if parts == ["healthz"]:
                 jobs = service.jobs()
-                self._reply(200, {
+                doc = {
                     "status": "ok",
                     "worker_kind": service.worker_kind,
+                    "worker_transport": getattr(
+                        service._workers, "transport", "inline"
+                    ),
                     "jobs": len(jobs),
                     "in_flight": sum(
                         1 for j in jobs
                         if j["state"] in ("pending", "running")
                     ),
                     "queue_depth": service.queue_depth(),
-                    "workers": service.running_jobs_by_worker(),
-                })
+                    "workers": service.workers_health(),
+                }
+                stats = service._workers.stats()
+                if "workers_connected" in stats:
+                    doc["workers_connected"] = stats["workers_connected"]
+                    address = service.worker_address
+                    if address is not None:
+                        doc["worker_listen"] = list(address)
+                self._reply(200, doc)
             elif parts == ["metrics"]:
                 self._reply_text(
                     200, service.metrics_text(),
                     "text/plain; version=0.0.4; charset=utf-8",
                 )
+            elif parts and parts[0] == "artifacts":
+                self._get_artifacts(parts[1:])
             elif parts == ["scenarios"]:
                 self._reply(200, {
                     "scenarios": [
@@ -179,6 +209,108 @@ class BenchmarkRequestHandler(BaseHTTPRequestHandler):
                 self._error(404, f"no route for GET {self.path}")
         except UnknownJobError as exc:
             self._error(404, str(exc.args[0] if exc.args else exc))
+
+    # -- cross-host artifact sync --------------------------------------
+    def _artifact_cache(self):
+        """The service's shared cache, or ``None`` (no ``cache_dir``)."""
+        from repro.core.artifacts import ArtifactCache
+
+        cache_dir = self.server.service.cache_dir
+        if cache_dir is None:
+            return None
+        return ArtifactCache(cache_dir)
+
+    def _artifact_target(self, parts):
+        """Validate ``/artifacts/<kind>/<key>`` path parts."""
+        from repro.core.artifacts import ArtifactCache
+
+        if len(parts) != 2:
+            raise ValueError(
+                "artifact routes are GET /artifacts or "
+                "GET|PUT /artifacts/<kind>/<key>"
+            )
+        kind, key = parts
+        if kind not in ArtifactCache.KINDS:
+            raise ValueError(
+                f"kind must be one of {ArtifactCache.KINDS}, got {kind!r}"
+            )
+        if not key or not all(c in "0123456789abcdef" for c in key):
+            raise ValueError(f"key must be lowercase hex, got {key!r}")
+        return kind, key
+
+    def _get_artifacts(self, parts) -> None:
+        service = self.server.service
+        cache = self._artifact_cache()
+        if cache is None:
+            self._error(
+                404, "no artifact cache configured (serve with "
+                     "--cache-dir to enable cross-host sync)"
+            )
+            return
+        if not parts:
+            self._reply(200, {"entries": [
+                {"kind": entry.kind, "key": entry.key,
+                 "num_bytes": entry.num_bytes}
+                for entry in cache.entries()
+            ]})
+            return
+        try:
+            kind, key = self._artifact_target(parts)
+        except ValueError as exc:
+            self._error(400, str(exc))
+            return
+        data = cache.export_entry(kind, key)
+        if data is None:
+            service.metrics.record_artifact_sync("get", "miss")
+            self._error(404, f"no {kind} entry with key {key}")
+            return
+        service.metrics.record_artifact_sync("get", "hit")
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-tar")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def do_PUT(self) -> None:  # noqa: N802
+        service = self.server.service
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if not parts or parts[0] != "artifacts":
+            self._error(404, f"no route for PUT {self.path}")
+            return
+        cache = self._artifact_cache()
+        if cache is None:
+            self._error(
+                404, "no artifact cache configured (serve with "
+                     "--cache-dir to enable cross-host sync)"
+            )
+            return
+        try:
+            kind, key = self._artifact_target(parts[1:])
+        except ValueError as exc:
+            self._error(400, str(exc))
+            return
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            self._error(400, "PUT /artifacts requires a tar body")
+            return
+        if length > _MAX_ARTIFACT_BYTES:
+            service.metrics.record_artifact_sync("put", "rejected")
+            self._error(
+                413, f"artifact body of {length} bytes exceeds the "
+                     f"{_MAX_ARTIFACT_BYTES}-byte limit"
+            )
+            return
+        data = self.rfile.read(length)
+        if cache.import_entry(kind, key, data):
+            service.metrics.record_artifact_sync("put", "stored")
+            self._reply(200, {"stored": True, "kind": kind, "key": key})
+        else:
+            service.metrics.record_artifact_sync("put", "rejected")
+            self._error(
+                400, "artifact archive was malformed or unsafe "
+                     "(must be a tar of regular entry-relative files "
+                     "with a manifest.json)"
+            )
 
     def do_POST(self) -> None:  # noqa: N802
         if [p for p in self.path.split("?")[0].split("/") if p] != ["jobs"]:
@@ -352,11 +484,17 @@ def run_server(
     cache_dir: Optional[Path] = None,
     store_path: Optional[Path] = None,
     compact: bool = False,
+    worker_listen: Optional[Tuple[str, int]] = None,
+    heartbeat_timeout: float = 10.0,
 ) -> int:
     """``repro-pipeline serve`` body: serve until interrupted.
 
     Prints the bound address (stdout, one line, parse-friendly) so
-    scripts using ``--port 0`` can discover the ephemeral port.
+    scripts using ``--port 0`` can discover the ephemeral port.  With
+    ``worker_kind="remote"`` a second line (``workers on HOST:PORT``)
+    announces the TCP port ``repro-pipeline worker --connect`` agents
+    should dial, and the HTTP address is advertised to them as the
+    artifact-sync base.
 
     With a ``store_path``, startup replays the store (finished jobs
     come back verbatim; interrupted ones re-queue) and ``compact=True``
@@ -372,10 +510,20 @@ def run_server(
         store_path=store_path,
         compact_on_start=compact,
         compact_every=1000 if compact else None,
+        worker_listen=worker_listen,
+        heartbeat_timeout=heartbeat_timeout,
     )
     server = make_server(service, host=host, port=port)
     bound_host, bound_port = server.server_address[:2]
     print(f"serving on http://{bound_host}:{bound_port}", flush=True)
+    worker_bind = service.worker_address
+    if worker_bind is not None:
+        print(f"workers on {worker_bind[0]}:{worker_bind[1]}", flush=True)
+        # Registering agents learn the artifact-sync base in their
+        # `registered` reply; only useful when a cache_dir exists, but
+        # advertising it unconditionally is harmless (agents without a
+        # local cache ignore it).
+        service.set_artifact_base(f"http://{bound_host}:{bound_port}")
     # SIGTERM (what `kill`, systemd, and container runtimes send) must
     # take the same graceful path as ^C — otherwise worker processes
     # leak and RUNNING jobs are left in the store for the next replay

@@ -58,7 +58,8 @@ TERMINAL_EVENTS = ("succeeded", "failed", "cancelled")
 #: split a replayed terminal event back into view vs. payload.
 PAYLOAD_KEYS = (
     "records", "rank_sha256", "rank_summary", "wall_seconds",
-    "validation", "cells", "trace", "observability",
+    "validation", "cells", "trace", "observability", "remote",
+    "artifact_sync",
 )
 
 

@@ -19,6 +19,12 @@ from __future__ import annotations
 import threading
 from typing import Dict, List, Mapping, Optional, Sequence
 
+#: ``repro_artifact_sync_total`` label pairs always emitted (zeroed),
+#: so scrapers and smoke checks see the family before the first sync.
+ARTIFACT_SYNC_SERIES = (
+    ("get", "hit"), ("get", "miss"), ("put", "stored"), ("put", "rejected"),
+)
+
 #: Per-kernel wall-seconds histogram bucket upper bounds.  Static —
 #: Prometheus buckets must never change between scrapes — and spanning
 #: the repo's realistic kernel range (sub-10ms cache reads to
@@ -67,6 +73,21 @@ class ServiceMetrics:
         self._cache_misses = 0
         self._shm_bytes_saved = 0
         self._kernel_seconds: Dict[str, _Histogram] = {}
+        self._requeues = 0
+        self._artifact_sync: Dict[tuple, int] = {
+            pair: 0 for pair in ARTIFACT_SYNC_SERIES
+        }
+
+    def record_requeue(self) -> None:
+        """One in-flight job requeued after its worker was lost."""
+        with self._lock:
+            self._requeues += 1
+
+    def record_artifact_sync(self, op: str, outcome: str) -> None:
+        """One ``GET/PUT /artifacts`` transfer served, by outcome."""
+        with self._lock:
+            key = (op, outcome)
+            self._artifact_sync[key] = self._artifact_sync.get(key, 0) + 1
 
     def record_job(
         self, state: str, payload: Optional[Mapping[str, object]]
@@ -105,6 +126,7 @@ class ServiceMetrics:
         jobs_by_state: Mapping[str, int],
         queue_depth: int,
         worker_stats: Mapping[str, int],
+        worker_detail: Optional[Sequence[Mapping[str, object]]] = None,
     ) -> str:
         """The Prometheus text exposition document.
 
@@ -146,6 +168,65 @@ class ServiceMetrics:
                 f"repro_workers_crashed_total "
                 f"{worker_stats.get('workers_crashed', 0)}"
             )
+            header("repro_jobs_requeued_total", "counter",
+                   "In-flight jobs requeued after their worker was lost "
+                   "(process crash or remote heartbeat/connection loss).")
+            lines.append(f"repro_jobs_requeued_total {self._requeues}")
+            if "workers_connected" in worker_stats:
+                # Remote-pool churn gauges: only rendered when the pool
+                # actually tracks connections, so local-kind scrapes
+                # stay unchanged.
+                header("repro_remote_workers_connected", "gauge",
+                       "Remote worker agents currently registered.")
+                lines.append(
+                    f"repro_remote_workers_connected "
+                    f"{worker_stats['workers_connected']}"
+                )
+                header("repro_remote_registrations_rejected_total",
+                       "counter",
+                       "Connections dropped before a valid register "
+                       "frame (port scans, protocol garbage).")
+                lines.append(
+                    f"repro_remote_registrations_rejected_total "
+                    f"{worker_stats.get('registrations_rejected', 0)}"
+                )
+                header("repro_remote_results_dropped_total", "counter",
+                       "Worker results discarded for want of a matching "
+                       "in-flight dispatch (stale seq after a requeue).")
+                lines.append(
+                    f"repro_remote_results_dropped_total "
+                    f"{worker_stats.get('results_dropped', 0)}"
+                )
+            if worker_detail:
+                header("repro_worker_info", "gauge",
+                       "One series per connected worker: kind, "
+                       "transport, and host ride as labels.")
+                for row in worker_detail:
+                    lines.append(
+                        f'repro_worker_info{{worker="{row.get("worker")}",'
+                        f'kind="{row.get("kind")}",'
+                        f'transport="{row.get("transport")}",'
+                        f'host="{row.get("host")}"}} 1'
+                    )
+                header("repro_worker_heartbeat_age_seconds", "gauge",
+                       "Seconds since each connected worker's last "
+                       "heartbeat at scrape time.")
+                for row in worker_detail:
+                    age = row.get("heartbeat_age_s")
+                    if isinstance(age, (int, float)):
+                        lines.append(
+                            f"repro_worker_heartbeat_age_seconds"
+                            f'{{worker="{row.get("worker")}"}} {age}'
+                        )
+            header("repro_artifact_sync_total", "counter",
+                   "Cross-host artifact-cache sync transfers served "
+                   "over GET/PUT /artifacts, by operation and outcome.")
+            for (op, outcome) in sorted(self._artifact_sync):
+                lines.append(
+                    f'repro_artifact_sync_total{{op="{op}",'
+                    f'outcome="{outcome}"}} '
+                    f"{self._artifact_sync[(op, outcome)]}"
+                )
             header("repro_artifact_cache_probes_total", "counter",
                    "Artifact-cache probes by finished jobs, by outcome.")
             lines.append(

@@ -21,10 +21,17 @@ implement that contract:
   the ``^C`` path, so in-flight jobs fail fast instead of outliving the
   service as zombies.
 
+A third pool, :class:`~repro.service.remote.RemoteWorkerPool`
+(``worker_kind="remote"``), lives in :mod:`repro.service.remote`: it
+speaks the same spec-document-in / result-document-out contract over
+TCP to ``repro worker --connect`` agents on other hosts, with
+heartbeat-based liveness in place of pipe EOF.
+
 Specs cross the process boundary as JSON documents and results come
 back as the record/rank-digest documents the job store persists, so a
 process-pooled service is bit-identical (rank digests, records) to a
-thread-pooled one — asserted by ``tests/unit/test_worker_pool.py``.
+thread-pooled one — asserted by ``tests/unit/test_worker_pool.py``
+(and a remote-pooled one by ``tests/unit/test_remote_pool.py``).
 """
 
 from __future__ import annotations
@@ -32,13 +39,15 @@ from __future__ import annotations
 import multiprocessing
 import queue
 import threading
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.api.runner import RunOutcome
 from repro.service.worker import run_spec_job_with_outcome, worker_main
 
-#: Accepted ``worker_kind`` values for the service/CLI.
-WORKER_KINDS = ("thread", "process")
+#: Accepted ``worker_kind`` values for the service/CLI.  ``"remote"``
+#: dispatches over TCP to ``repro worker --connect`` agents (see
+#: :mod:`repro.service.remote`).
+WORKER_KINDS = ("thread", "process", "remote")
 
 
 class WorkerCrashError(RuntimeError):
@@ -62,19 +71,30 @@ class ThreadWorkerPool:
     """Run jobs on the calling (scheduler) thread."""
 
     kind = "thread"
+    transport = "inline"
 
     def __init__(self, workers: int) -> None:
         del workers  # concurrency is the scheduler pool's; nothing to own
 
     def run_spec(
-        self, spec_doc: Dict[str, object], cache_dir: Optional[str]
+        self,
+        spec_doc: Dict[str, object],
+        cache_dir: Optional[str],
+        *,
+        job_id: Optional[str] = None,
     ) -> Tuple[Dict[str, object], Optional[RunOutcome]]:
         """Execute in-process; payload plus the live outcome."""
+        del job_id  # provenance labelling is the remote pool's concern
         return run_spec_job_with_outcome(spec_doc, cache_dir)
 
     def stats(self) -> Dict[str, int]:
         """Worker lifecycle counters; threads never spawn or crash."""
         return {"workers_spawned": 0, "workers_crashed": 0}
+
+    def workers_view(self) -> List[Dict[str, object]]:
+        """No pool-owned workers; the service reports its scheduler
+        threads' in-flight jobs instead."""
+        return []
 
     def shutdown(self, wait: bool = True) -> None:
         """Nothing to stop — job threads belong to the scheduler."""
@@ -160,6 +180,7 @@ class ProcessWorkerPool:
     """
 
     kind = "process"
+    transport = "pipe"
 
     def __init__(
         self, workers: int, *, start_method: Optional[str] = None
@@ -248,12 +269,23 @@ class ProcessWorkerPool:
                 "workers_crashed": self._crashed,
             }
 
+    def workers_view(self) -> List[Dict[str, object]]:
+        """No per-worker health rows: pipe workers have no heartbeat
+        (EOF is their only liveness signal), so the service's scheduler
+        view covers them."""
+        return []
+
     # ------------------------------------------------------------------
     def run_spec(
-        self, spec_doc: Dict[str, object], cache_dir: Optional[str]
+        self,
+        spec_doc: Dict[str, object],
+        cache_dir: Optional[str],
+        *,
+        job_id: Optional[str] = None,
     ) -> Tuple[Dict[str, object], Optional[RunOutcome]]:
         """Ship one spec to a worker; payload only (the rank vector
         stays in the worker — its digest rides in the payload)."""
+        del job_id  # provenance labelling is the remote pool's concern
         handle = self._checkout()
         try:
             payload = handle.run(spec_doc, cache_dir)
@@ -297,8 +329,24 @@ class ProcessWorkerPool:
             handle.kill()
 
 
-def make_worker_pool(kind: str, workers: int):
-    """Build the pool for a ``worker_kind`` value (with a clear error)."""
+def make_worker_pool(kind: str, workers: int, **remote_options):
+    """Build the pool for a ``worker_kind`` value (with a clear error).
+
+    ``remote_options`` (``host``/``port``/``heartbeat_timeout``/
+    ``heartbeat_interval``/``register_timeout``/``artifact_base``) are
+    forwarded to :class:`~repro.service.remote.RemoteWorkerPool` and
+    refused for the local kinds, where they could only be silently
+    ignored configuration.
+    """
+    if kind == "remote":
+        from repro.service.remote import RemoteWorkerPool
+
+        return RemoteWorkerPool(workers, **remote_options)
+    if remote_options:
+        raise ValueError(
+            f"options {sorted(remote_options)} apply only to "
+            f"worker_kind='remote', not {kind!r}"
+        )
     if kind == "thread":
         return ThreadWorkerPool(workers)
     if kind == "process":

@@ -64,6 +64,14 @@ from repro.service.pool import RemoteJobError, WorkerCrashError, make_worker_poo
 #: Default worker count (scheduler threads == workers for both kinds).
 DEFAULT_WORKERS = 2
 
+#: Live requeue budget per scheduler attempt: a job whose worker died
+#: (process crash, remote heartbeat loss) is retried this many times
+#: *within* the owning scheduler thread before converging to FAILED.
+#: Matches the replay cap — both count the job's durable ``requeued``
+#: events, so a job that keeps killing workers cannot retry forever
+#: across restarts either.
+MAX_LIVE_REQUEUES = 2
+
 
 class JobError(Exception):
     """Base class for job-service failures."""
@@ -113,6 +121,16 @@ class BenchmarkService:
         Compact the store (before replaying it) on startup.
     compact_every:
         Auto-compact the store after every N appended events.
+    worker_listen:
+        ``worker_kind="remote"`` only: the ``(host, port)`` the
+        :class:`~repro.service.remote.RemoteWorkerPool` listens on for
+        ``repro worker --connect`` agents (``port=0`` binds an
+        ephemeral port — read :attr:`worker_address` back).  Defaults
+        to ``("127.0.0.1", 0)``.
+    heartbeat_timeout:
+        ``worker_kind="remote"`` only: a worker whose heartbeat age
+        exceeds this is lost — its in-flight job requeues (then
+        retries on another worker) and the worker may reconnect.
 
     Examples
     --------
@@ -135,13 +153,27 @@ class BenchmarkService:
         replay: bool = True,
         compact_on_start: bool = False,
         compact_every: Optional[int] = None,
+        worker_listen: Optional[Tuple[str, int]] = None,
+        heartbeat_timeout: float = 10.0,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.dedup = dedup
         self.worker_kind = worker_kind
-        self._workers = make_worker_pool(worker_kind, workers)
+        if worker_kind == "remote":
+            listen = worker_listen or ("127.0.0.1", 0)
+            self._workers = make_worker_pool(
+                worker_kind, workers,
+                host=listen[0], port=int(listen[1]),
+                heartbeat_timeout=heartbeat_timeout,
+            )
+        else:
+            if worker_listen is not None:
+                raise ValueError(
+                    "worker_listen applies only to worker_kind='remote'"
+                )
+            self._workers = make_worker_pool(worker_kind, workers)
         self._scheduler = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-job"
         )
@@ -212,7 +244,7 @@ class BenchmarkService:
                     job.done.set()
             for job in cancelled:
                 self._child_finished(job.job_id)
-            if self._workers.kind == "process":
+            if self._workers.kind in ("process", "remote"):
                 # Give in-flight scheduler threads a moment to append
                 # their terminal (FAILED) events before the process
                 # exits.  Thread workers keep running past close() and
@@ -408,7 +440,9 @@ class BenchmarkService:
         with self._lock:
             if job.state is not JobState.PENDING:  # cancelled meanwhile
                 return
-            if self._terminating and self._workers.kind == "process":
+            if self._terminating and self._workers.kind in (
+                "process", "remote"
+            ):
                 # Dequeued in the race window between terminate() and
                 # cancel_futures: the workers are already dead, so
                 # running would only record a spurious failure.  Leave
@@ -429,23 +463,50 @@ class BenchmarkService:
         outcome: Optional[RunOutcome] = None
         error: Optional[str] = None
         t_dispatched = t_received = None
+        requeues = 0
         try:
             # Guarded: a store I/O failure here must fail the job (and
             # wake its waiters via the finally below), never strand it
             # RUNNING with the spec hash pinned in the dedup map.
             self.store.append("running", {"job_id": job_id})
-            t_dispatched = time.time()
-            payload, outcome = self._workers.run_spec(
-                job.spec.to_dict(),
-                str(self.cache_dir) if self.cache_dir is not None else None,
-            )
-            t_received = time.time()
+            while True:
+                t_dispatched = time.time()
+                try:
+                    payload, outcome = self._workers.run_spec(
+                        job.spec.to_dict(),
+                        str(self.cache_dir)
+                        if self.cache_dir is not None else None,
+                        job_id=job_id,
+                    )
+                    t_received = time.time()
+                except WorkerCrashError as exc:
+                    # The *worker* died under the job (process crash,
+                    # remote heartbeat loss, torn socket) — the job
+                    # produced no wrong result.  Requeue it live on the
+                    # next available worker, with the same durable
+                    # ``requeued`` event (and cap) the restart-replay
+                    # path uses, so both failure paths share one
+                    # vocabulary.  During shutdown the retry would only
+                    # spin against a terminated pool: converge to
+                    # FAILED, which replay already treats as retryable.
+                    with self._lock:
+                        terminating = self._terminating
+                    if terminating or requeues >= MAX_LIVE_REQUEUES:
+                        error = f"WorkerCrashError: {exc}"
+                        break
+                    requeues += 1
+                    self.metrics.record_requeue()
+                    self.store.append(
+                        "requeued",
+                        {"job_id": job_id, "spec_hash": job.spec_hash,
+                         "reason": f"WorkerCrashError: {exc}"},
+                    )
+                    continue
+                break
         except RemoteJobError as exc:
-            # A worker-process job failure, formatted exactly as the
+            # A worker-side job failure, formatted exactly as the
             # in-process exception would have been.
             error = f"{exc.error_type}: {exc}"
-        except WorkerCrashError as exc:
-            error = f"WorkerCrashError: {exc}"
         except Exception as exc:
             error = f"{type(exc).__name__}: {exc}"
         if error is None:
@@ -463,7 +524,9 @@ class BenchmarkService:
                     f"cosine={failed[0]['cosine_similarity']:.6f})"
                 )
         if payload is not None and t_dispatched is not None:
-            self._append_job_spans(job, payload, t_dispatched, t_received)
+            self._append_job_spans(
+                job, payload, t_dispatched, t_received, requeues=requeues
+            )
         with self._lock:
             job.finished_at = time.time()
             job.result_payload = payload
@@ -497,6 +560,8 @@ class BenchmarkService:
         payload: Dict[str, object],
         t_dispatched: float,
         t_received: Optional[float],
+        *,
+        requeues: int = 0,
     ) -> None:
         """Graft service-side job-lifecycle spans onto the run trace.
 
@@ -507,34 +572,58 @@ class BenchmarkService:
         the grafted spans clear of the pipeline collector's positive id
         space; negative *starts* (the queue began before the collector
         existed) are fine — the Chrome export shifts all timestamps so
-        the earliest lands at zero.
+        the earliest lands at zero.  Remote dispatches additionally
+        graft the worker's registration/heartbeat/dispatch provenance
+        from the payload's ``remote`` annotation.
         """
+        from repro.core.trace import graft_span
+
         trace_doc = payload.get("trace")
         if not isinstance(trace_doc, dict):
             return
-        epoch0 = trace_doc.get("epoch0")
-        if not isinstance(epoch0, (int, float)):
-            return
-        spans = trace_doc.setdefault("spans", [])
         thread = threading.current_thread().name
         t_result = time.time()
 
         def graft(name: str, span_id: int, parent: Optional[int],
-                  begin: float, end: float) -> None:
-            spans.append({
-                "name": name, "cat": "job",
-                "start": begin - epoch0, "dur": max(0.0, end - begin),
-                "id": span_id, "parent": parent,
-                "proc": "service", "thread": thread,
-                "args": {"job_id": job.job_id},
-            })
+                  begin: float, end: float,
+                  args: Optional[Dict[str, object]] = None) -> None:
+            merged = {"job_id": job.job_id}
+            merged.update(args or {})
+            graft_span(
+                trace_doc, name=name, span_id=span_id, parent_id=parent,
+                begin_epoch=begin, end_epoch=end,
+                proc="service", thread=thread, args=merged,
+            )
 
-        graft(f"job:{job.job_id}", -1, None, job.submitted_at, t_result)
+        graft(f"job:{job.job_id}", -1, None, job.submitted_at, t_result,
+              {"requeues": requeues} if requeues else None)
         graft("job:queue", -2, -1, job.submitted_at, job.started_at)
         graft("job:dispatch", -3, -1, job.started_at, t_dispatched)
         if t_received is not None:
             graft("job:run", -4, -1, t_dispatched, t_received)
             graft("job:result", -5, -1, t_received, t_result)
+        remote = payload.get("remote")
+        if isinstance(remote, dict) and t_received is not None:
+            worker = remote.get("worker_id")
+            info = {
+                "worker_id": worker,
+                "host": remote.get("host"),
+                "transport": remote.get("transport"),
+            }
+            dispatched = remote.get("dispatched_at")
+            completed = remote.get("completed_at")
+            if isinstance(dispatched, (int, float)) \
+                    and isinstance(completed, (int, float)):
+                graft(f"job:remote-dispatch:{worker}", -6, -4,
+                      float(dispatched), float(completed), info)
+            registered = remote.get("registered_at")
+            if isinstance(registered, (int, float)):
+                graft("worker:registered", -7, -6,
+                      float(registered), float(registered), info)
+            heartbeat = remote.get("last_heartbeat_at")
+            if isinstance(heartbeat, (int, float)):
+                graft("worker:last-heartbeat", -8, -6,
+                      float(heartbeat), float(heartbeat), info)
 
     # ------------------------------------------------------------------
     # Sweep aggregation
@@ -957,6 +1046,47 @@ class BenchmarkService:
         with self._lock:
             return dict(self._running_jobs)
 
+    @property
+    def worker_address(self) -> Optional[Tuple[str, int]]:
+        """The remote pool's worker-listen address (``None`` for local
+        worker kinds)."""
+        return getattr(self._workers, "address", None)
+
+    def set_artifact_base(self, base_url: Optional[str]) -> None:
+        """Advertise the HTTP front end's base URL to remote workers
+        (they fetch/push artifact-cache entries against it).  No-op
+        for local worker kinds."""
+        if hasattr(self._workers, "artifact_base"):
+            self._workers.artifact_base = base_url
+
+    def workers_health(self) -> Dict[str, Dict[str, object]]:
+        """Per-worker health rows for ``/healthz``.
+
+        Remote pools report every *connected* worker — kind, transport,
+        host, heartbeat age, and the in-flight job id (``None`` when
+        idle).  Local pools have no pool-owned identities or
+        heartbeats, so their rows are the scheduler threads currently
+        driving jobs, labelled with the pool's kind/transport (idle
+        local services report ``{}``).
+        """
+        view = self._workers.workers_view()
+        if view:
+            return {
+                str(row.pop("worker")): row for row in view
+            }
+        transport = getattr(self._workers, "transport", "inline")
+        with self._lock:
+            running = dict(self._running_jobs)
+        return {
+            name: {
+                "kind": self.worker_kind,
+                "transport": transport,
+                "job_id": running_job_id,
+                "heartbeat_age_s": None,
+            }
+            for name, running_job_id in running.items()
+        }
+
     def jobs_by_state(self) -> Dict[str, int]:
         """Job counts per lifecycle state (the /metrics gauge)."""
         with self._lock:
@@ -971,6 +1101,7 @@ class BenchmarkService:
             jobs_by_state=self.jobs_by_state(),
             queue_depth=self.queue_depth(),
             worker_stats=self._workers.stats(),
+            worker_detail=self._workers.workers_view(),
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,122 @@
+"""Length-prefixed JSON framing: round trips and torn-wire behaviour."""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.service.framing import MAX_FRAME_BYTES, FrameChannel, FrameError
+
+
+def _pair():
+    """A connected socket pair wrapped as two FrameChannels."""
+    a, b = socket.socketpair()
+    return FrameChannel(a), FrameChannel(b)
+
+
+class TestRoundTrip:
+    def test_doc_survives_the_wire(self):
+        left, right = _pair()
+        try:
+            doc = {"type": "run", "seq": 7, "spec": {"scale": 12},
+                   "unicode": "π ≈ 3.14159", "nested": [1, {"a": None}]}
+            left.send(doc)
+            assert right.recv() == doc
+        finally:
+            left.close()
+            right.close()
+
+    def test_many_frames_in_order(self):
+        left, right = _pair()
+        try:
+            for seq in range(50):
+                left.send({"seq": seq})
+            for seq in range(50):
+                assert right.recv() == {"seq": seq}
+        finally:
+            left.close()
+            right.close()
+
+    def test_concurrent_senders_never_interleave(self):
+        """send() is locked: frames from racing threads stay whole."""
+        left, right = _pair()
+        try:
+            def blast(tag):
+                for index in range(25):
+                    left.send({"tag": tag, "index": index, "pad": "x" * 512})
+
+            threads = [
+                threading.Thread(target=blast, args=(t,)) for t in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            docs = [right.recv() for _ in range(100)]
+            for thread in threads:
+                thread.join()
+            assert all(isinstance(d, dict) and "tag" in d for d in docs)
+        finally:
+            left.close()
+            right.close()
+
+
+class TestEdges:
+    def test_clean_eof_is_none(self):
+        left, right = _pair()
+        left.send({"last": True})
+        left.close()
+        assert right.recv() == {"last": True}
+        assert right.recv() is None  # EOF exactly at a frame boundary
+        right.close()
+
+    def test_torn_frame_is_an_error(self):
+        """EOF mid-frame (a SIGKILLed peer) must not look like a clean
+        close — the pool uses the distinction in its lost-reason."""
+        a, b = socket.socketpair()
+        right = FrameChannel(b)
+        a.sendall(struct.pack("!I", 100) + b'{"half":')  # promises 100 bytes
+        a.close()
+        with pytest.raises(FrameError, match="mid-frame"):
+            right.recv()
+        right.close()
+
+    def test_oversize_length_prefix_rejected(self):
+        a, b = socket.socketpair()
+        right = FrameChannel(b)
+        a.sendall(struct.pack("!I", MAX_FRAME_BYTES + 1))
+        with pytest.raises(FrameError, match="exceeds"):
+            right.recv()
+        a.close()
+        right.close()
+
+    def test_garbage_payload_rejected(self):
+        a, b = socket.socketpair()
+        right = FrameChannel(b)
+        body = b"\xff\x00 not json"
+        a.sendall(struct.pack("!I", len(body)) + body)
+        with pytest.raises(FrameError):
+            right.recv()
+        a.close()
+        right.close()
+
+    def test_non_object_payload_rejected(self):
+        a, b = socket.socketpair()
+        right = FrameChannel(b)
+        body = b"[1, 2, 3]"  # valid JSON, but the protocol speaks objects
+        a.sendall(struct.pack("!I", len(body)) + body)
+        with pytest.raises(FrameError, match="object"):
+            right.recv()
+        a.close()
+        right.close()
+
+    def test_oversize_send_refused_locally(self):
+        left, right = _pair()
+        try:
+            small = FrameChannel(left.sock, max_frame=64)
+            with pytest.raises(FrameError, match="refusing to send"):
+                small.send({"pad": "x" * 256})
+        finally:
+            left.close()
+            right.close()

@@ -152,7 +152,21 @@ class TestFactory:
         pool = make_worker_pool("process", 1)
         assert isinstance(pool, ProcessWorkerPool)
         pool.shutdown()
-        assert set(WORKER_KINDS) == {"thread", "process"}
+        assert set(WORKER_KINDS) == {"thread", "process", "remote"}
+
+    def test_remote_kind(self):
+        from repro.service.remote import RemoteWorkerPool
+
+        pool = make_worker_pool("remote", 1, port=0)
+        try:
+            assert isinstance(pool, RemoteWorkerPool)
+            assert pool.address[1] > 0
+        finally:
+            pool.shutdown()
+
+    def test_remote_options_refused_for_local_kinds(self):
+        with pytest.raises(ValueError, match="remote"):
+            make_worker_pool("thread", 1, heartbeat_timeout=5.0)
 
     def test_unknown_kind(self):
         with pytest.raises(ValueError, match="worker_kind"):

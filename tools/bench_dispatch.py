@@ -1,0 +1,181 @@
+"""Dispatch-overhead bench: thread vs process vs remote(localhost).
+
+Measures what each worker transport *adds* to a job: the same RunSpec
+document is dispatched through a :class:`ThreadWorkerPool` (in-process
+baseline), a :class:`ProcessWorkerPool` (pipe to a long-lived child),
+and a :class:`RemoteWorkerPool` with a localhost TCP agent (the full
+distributed plane: framing, heartbeats, dispatch bookkeeping — minus
+real network latency, which a localhost loop cannot model).  Per kind
+it records the best-of-N dispatch wall time and the overhead versus
+the thread baseline; bit-identical rank digests across the three kinds
+are asserted on every run, so the bench doubles as a parity check.
+
+The output document is ``bench_trajectory``-compatible (``{"schema",
+"context", "created", "cases": {name: {"wall_seconds", ...}}}``) so
+CI's aggregate step folds dispatch overhead into the same trajectory
+series as the kernel benches.  Record it under the ``ci-remote``
+context::
+
+    python tools/bench_dispatch.py --context ci-remote \
+        [--output BENCH_ci-remote.json] [--scales 12,14] [--repeats 3]
+
+Warm-up dispatches (pool spawn, agent registration, interpreter
+start-up) are excluded from the timed repeats — the bench targets
+steady-state dispatch, not cold starts.  Exits 0 on success, 2 when a
+case fails to run or parity breaks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api import RunSpec  # noqa: E402
+from repro.service.agent import WorkerAgent  # noqa: E402
+from repro.service.pool import (  # noqa: E402
+    ProcessWorkerPool,
+    ThreadWorkerPool,
+)
+from repro.service.remote import RemoteWorkerPool  # noqa: E402
+
+#: The dispatch matrix: small enough that transport overhead is a
+#: visible fraction of the job, big enough that the job is real.
+DEFAULT_SCALES = (12, 14)
+BACKEND = "scipy"
+
+
+def _spec(scale: int) -> RunSpec:
+    return RunSpec(scale=scale, backend=BACKEND)
+
+
+def _time_dispatches(pool, spec_doc, repeats: int):
+    """Best-of-N wall seconds for one pool, plus the digest seen."""
+    digest = None
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.monotonic()
+        payload, _outcome = pool.run_spec(spec_doc, None)
+        elapsed = time.monotonic() - started
+        best = min(best, elapsed)
+        digest = payload["rank_sha256"]
+    return best, digest
+
+
+def bench_scale(scale: int, repeats: int) -> dict:
+    """All three kinds at one scale; returns cases keyed by kind."""
+    spec_doc = _spec(scale).to_dict()
+    cases = {}
+    digests = {}
+
+    thread_pool = ThreadWorkerPool(1)
+    thread_pool.run_spec(spec_doc, None)  # warm (imports, page cache)
+    best, digests["thread"] = _time_dispatches(
+        thread_pool, spec_doc, repeats
+    )
+    thread_baseline = best
+    cases["thread"] = {"wall_seconds": best, "overhead_seconds": 0.0}
+    thread_pool.shutdown()
+
+    process_pool = ProcessWorkerPool(1)
+    try:
+        process_pool.run_spec(spec_doc, None)  # warm (spawn + imports)
+        best, digests["process"] = _time_dispatches(
+            process_pool, spec_doc, repeats
+        )
+        cases["process"] = {
+            "wall_seconds": best,
+            "overhead_seconds": max(0.0, best - thread_baseline),
+        }
+    finally:
+        process_pool.shutdown()
+
+    remote_pool = RemoteWorkerPool(1, heartbeat_timeout=30.0)
+    host, port = remote_pool.address
+    agent = WorkerAgent(host, port, worker_id="bench-agent", quiet=True)
+    agent_thread = threading.Thread(target=agent.run, daemon=True)
+    agent_thread.start()
+    try:
+        remote_pool.run_spec(spec_doc, None)  # warm (registration)
+        best, digests["remote"] = _time_dispatches(
+            remote_pool, spec_doc, repeats
+        )
+        cases["remote"] = {
+            "wall_seconds": best,
+            "overhead_seconds": max(0.0, best - thread_baseline),
+        }
+    finally:
+        remote_pool.shutdown()
+        agent_thread.join(timeout=10)
+
+    if len(set(digests.values())) != 1:
+        raise RuntimeError(
+            f"rank digests diverged across worker kinds at scale "
+            f"{scale}: { {k: v[:16] for k, v in digests.items()} }"
+        )
+    for case in cases.values():
+        case["rank_sha256"] = digests["thread"]
+    return cases
+
+
+def main(argv: list) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--context", default="ci-remote",
+                        help="label baked into the output filename and "
+                             "document")
+    parser.add_argument("--output", default=None,
+                        help="output path (default BENCH_<context>.json)")
+    parser.add_argument("--scales", default=",".join(
+                            str(s) for s in DEFAULT_SCALES),
+                        help="comma-separated Graph500 scales")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed dispatches per (scale, kind); best "
+                             "is recorded")
+    args = parser.parse_args(argv[1:])
+
+    scales = [int(s) for s in args.scales.split(",") if s.strip()]
+    results = {}
+    for scale in scales:
+        print(f"dispatch bench at scale {scale} ...", flush=True)
+        try:
+            cases = bench_scale(scale, args.repeats)
+        except (RuntimeError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        for kind, case in cases.items():
+            name = f"s{scale}-dispatch-{kind}"
+            results[name] = case
+            print(
+                f"  {kind:8s} wall {case['wall_seconds']:.3f}s "
+                f"(+{case['overhead_seconds']:.3f}s vs thread)",
+                flush=True,
+            )
+
+    document = {
+        "schema": 1,
+        "context": args.context,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "backend": BACKEND,
+        "repeats": args.repeats,
+        "cases": results,
+    }
+    output = Path(args.output or f"BENCH_{args.context}.json")
+    output.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"dispatch trajectory written to {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

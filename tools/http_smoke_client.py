@@ -19,6 +19,10 @@ submits the smoke scenario with ``{"trace": true}`` overrides, fetches
 pipeline/stage/job lifecycle span names), then scrapes ``GET /metrics``
 (asserting the Prometheus families the service promises) and checks
 ``/healthz`` reports queue depth and per-worker in-flight maps.
+Against a ``--worker-kind remote`` service it additionally requires
+the remote families (connected-worker gauge, per-worker info/heartbeat
+series, requeue and artifact-sync counters) and per-worker health rows
+carrying kind/transport/heartbeat age.
 
 Exits nonzero (via assertion) if the job fails, is cancelled, or does
 not finish in time.
@@ -50,9 +54,20 @@ REQUIRED_METRICS = (
     "repro_jobs_finished_total",
     "repro_queue_depth",
     "repro_workers_spawned_total",
+    "repro_jobs_requeued_total",
     "repro_artifact_cache_probes_total",
+    "repro_artifact_sync_total",
     "repro_shm_bytes_saved_total",
     "repro_kernel_seconds_bucket",
+)
+
+#: Families additionally required when the service is remote-kind.
+REQUIRED_REMOTE_METRICS = (
+    "repro_remote_workers_connected",
+    "repro_remote_registrations_rejected_total",
+    "repro_remote_results_dropped_total",
+    "repro_worker_info",
+    "repro_worker_heartbeat_age_seconds",
 )
 
 
@@ -148,6 +163,22 @@ def main(argv: list) -> int:
         )
         assert "queue_depth" in health and "workers" in health, health
         print(f"healthz ok: {health}")
+
+        if health.get("worker_kind") == "remote":
+            missing = [m for m in REQUIRED_REMOTE_METRICS
+                       if m not in metrics]
+            assert not missing, f"/metrics missing remote families {missing}"
+            assert health.get("workers_connected", 0) >= 1, health
+            assert health.get("worker_listen"), health
+            assert health["workers"], "remote service has no worker rows"
+            for name, row in health["workers"].items():
+                assert row["kind"] == "remote", (name, row)
+                assert row["transport"] == "tcp", (name, row)
+                assert isinstance(
+                    row["heartbeat_age_s"], (int, float)
+                ), (name, row)
+            print(f"remote observability ok: "
+                  f"{health['workers_connected']} workers connected")
     return 0
 
 
